@@ -1,0 +1,140 @@
+// Command injector runs the Fig. 4 fault-injection validation campaign
+// against a memory sub-system implementation: golden run, operational-
+// profile-guided fault list, per-zone measured S/DDF, coverage items,
+// effect-table consistency and the cross-check against the worksheet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fit"
+	"repro/internal/inject"
+	"repro/internal/memsys"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("injector: ")
+	design := flag.String("design", "v2", "implementation: v1 or v2")
+	addrWidth := flag.Int("addr", 6, "address width")
+	words := flag.Int("words", 8, "March slice size of the workload")
+	transient := flag.Int("transient", 2, "transient experiments per zone")
+	permanent := flag.Int("permanent", 2, "permanent experiments per zone")
+	wide := flag.Int("wide", 12, "wide/global fault experiments")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
+	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
+	flag.Parse()
+
+	var cfg memsys.Config
+	switch *design {
+	case "v1":
+		cfg = memsys.V1Config()
+	case "v2":
+		cfg = memsys.V2Config()
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+	cfg.AddrWidth = *addrWidth
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := d.InjectionTargetSeeded(a, d.SeedFaults())
+	tr := d.ValidationWorkload(*words, *seed)
+	fmt.Printf("%s: workload %d cycles, %d zones\n", cfg.Name, tr.Cycles(), len(a.Zones))
+
+	g, err := target.RunGolden(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok, inactive := g.CompletenessOK(); !ok {
+		fmt.Printf("WARNING: workload leaves %d zones untriggered\n", len(inactive))
+	} else {
+		fmt.Println("workload completeness: PASS (every zone triggered)")
+	}
+
+	pcfg := inject.PlanConfig{TransientPerZone: *transient, PermanentPerZone: *permanent, Seed: *seed}
+	plan := inject.BuildPlan(a, g, pcfg)
+	plan = append(plan, inject.WidePlan(a, g, *wide, *seed+1)...)
+	fmt.Printf("running %d injection experiments...\n", len(plan))
+	rep, err := target.Run(g, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cov := rep.Coverage
+	fmt.Printf("coverage: SENS %s  OBSE %s  DIAG %s  (%d mismatches)\n",
+		report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()), cov.Mismatches)
+
+	t := report.NewTable("\nPer-zone measured outcomes",
+		"zone", "exp", "silent", "det-safe", "dang-det", "dang-undet", "S(meas)", "DDF(meas)")
+	for _, zm := range rep.ZoneMeasures(a) {
+		t.AddRow(zm.Name, zm.Experiments, zm.Silent, zm.DetSafe, zm.DangerDet, zm.DangerUndet,
+			zm.SMeasured(), zm.DDFMeasured())
+	}
+	fmt.Println(t.Render())
+
+	w := d.Worksheet(a, fit.Default())
+	rows := rep.ValidateWorksheet(a, w, *tol)
+	bad := 0
+	for _, r := range rows {
+		if !r.Within {
+			bad++
+			fmt.Printf("OVER-CLAIM: %-28s estS=%.2f measS=%.2f estDDF=%.2f measDDF=%.2f\n",
+				r.Name, r.EstS, r.MeasS, r.EstDDF, r.MeasDDF)
+		}
+	}
+	fmt.Printf("worksheet cross-check: %s of %d zones within tolerance (%d over-claims)\n",
+		report.Pct(inject.PassFraction(rows)), len(rows), bad)
+
+	if *vcd != "" {
+		recordVCDs(*vcd, target, g, rep)
+	}
+
+	inconsistent := 0
+	for _, ec := range rep.CheckEffects(a) {
+		if !ec.Consistent {
+			inconsistent++
+			fmt.Printf("NEW EFFECTS for zone %s: observation points %v not in main/secondary prediction\n",
+				ec.Name, ec.Unpredicted)
+		}
+	}
+	if inconsistent == 0 {
+		fmt.Println("effect tables consistent with main/secondary analysis: PASS")
+	}
+}
+
+// recordVCDs dumps the golden waveform plus the first dangerous-
+// undetected experiment's faulty waveform for debugging.
+func recordVCDs(prefix string, target *inject.Target, g *inject.Golden, rep *inject.Report) {
+	write := func(path string, inj *inject.Injection) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := target.RecordVCD(g, inj, f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	write(prefix+"_golden.vcd", nil)
+	for i := range rep.Results {
+		if rep.Results[i].Outcome == inject.DangerousUndetected {
+			write(prefix+"_faulty.vcd", &rep.Results[i].Injection)
+			return
+		}
+	}
+	if len(rep.Results) > 0 {
+		write(prefix+"_faulty.vcd", &rep.Results[0].Injection)
+	}
+}

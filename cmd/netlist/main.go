@@ -1,0 +1,84 @@
+// Command netlist exports a memory sub-system implementation (or its
+// standalone codec testbench) as structural Verilog, or re-imports such
+// a file and reports its zone-extraction summary — the interchange path
+// for netlists coming from an external synthesis flow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/memsys"
+	"repro/internal/netlist"
+	"repro/internal/zones"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netlist: ")
+	design := flag.String("design", "v2", "implementation: v1 or v2")
+	codec := flag.Bool("codec", false, "export the standalone codec testbench instead of the full DUT")
+	out := flag.String("o", "", "write Verilog to this file (default stdout)")
+	parse := flag.String("parse", "", "parse a structural Verilog file and summarize it")
+	flag.Parse()
+
+	if *parse != "" {
+		f, err := os.Open(*parse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		n, err := netlist.ParseVerilog(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(n.String())
+		a, err := zones.Extract(n, zones.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(a.Summary())
+		return
+	}
+
+	var cfg memsys.Config
+	switch *design {
+	case "v1":
+		cfg = memsys.V1Config()
+	case "v2":
+		cfg = memsys.V2Config()
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+	var n *netlist.Netlist
+	var err error
+	if *codec {
+		n, err = memsys.BuildCodecBench(cfg)
+	} else {
+		var d *memsys.Design
+		d, err = memsys.Build(cfg)
+		if d != nil {
+			n = d.N
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := n.WriteVerilog(w); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%s)\n", *out, n.String())
+	}
+}

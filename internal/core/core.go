@@ -1,0 +1,233 @@
+// Package core orchestrates the paper's methodology end to end — the
+// TÜV-approved flow to assess and validate the Safe Failure Fraction of
+// a SoC in adherence to IEC 61508:
+//
+//  1. extract sensible zones and observation points from the netlist;
+//  2. fill the FMEA worksheet (rates, S/F/ζ factors, clamped DDF claims)
+//     and compute λS/λD/λDD/λDU, DC, SFF and the claimable SIL;
+//  3. span the assumptions (sensitivity);
+//  4. validate by fault injection: workload completeness, exhaustive
+//     zone-failure injection, coverage items, measured-vs-estimated
+//     S/DDF cross-check, effects-table consistency, wide/global fault
+//     experiments, and workload toggle efficiency.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/iec61508"
+	"repro/internal/inject"
+	"repro/internal/report"
+	"repro/internal/workload"
+	"repro/internal/zones"
+)
+
+// DUT is a design pluggable into the flow.
+type DUT interface {
+	DesignName() string
+	// Analyze extracts the sensible zones.
+	Analyze() (*zones.Analysis, error)
+	// Worksheet fills the FMEA spreadsheet for the design.
+	Worksheet(*zones.Analysis, fit.Rates) *fmea.Worksheet
+	// Target wires the design into the fault injector.
+	Target(*zones.Analysis) *inject.Target
+	// ValidationTrace is the injection-campaign workload.
+	ValidationTrace() *workload.Trace
+	// CoverageTrace is the (usually richer) workload used for the
+	// toggle-efficiency measurement.
+	CoverageTrace() *workload.Trace
+}
+
+// Options tune the flow.
+type Options struct {
+	Rates     fit.Rates
+	HFT       int
+	TargetSIL iec61508.SIL
+	// Sensitivity span factor for the assumption battery.
+	Span float64
+	// Validation controls.
+	RunValidation   bool
+	Plan            inject.PlanConfig
+	WideFaults      int
+	Tolerance       float64 // est-vs-measured acceptance band
+	ToggleThreshold float64 // workload-efficiency threshold (0.99)
+}
+
+// DefaultOptions mirrors the paper's defaults: SIL3 target at HFT 0,
+// 99 % toggle threshold.
+func DefaultOptions() Options {
+	return Options{
+		Rates:           fit.Default(),
+		HFT:             0,
+		TargetSIL:       iec61508.SIL3,
+		Span:            2,
+		RunValidation:   true,
+		Plan:            inject.DefaultPlanConfig(),
+		WideFaults:      16,
+		Tolerance:       0.35,
+		ToggleThreshold: 0.99,
+	}
+}
+
+// Validation is the fault-injection half of an assessment.
+type Validation struct {
+	Complete      bool
+	InactiveZones []string
+	Report        *inject.Report
+	WideReport    *inject.Report
+	Rows          []inject.ValidationRow
+	PassFraction  float64
+	Effects       []inject.EffectCheck
+	EffectsOK     bool
+	ToggleRaw     float64
+	ToggleAdj     float64
+	ToggleOK      bool
+}
+
+// Assessment is the flow's output: the safety case for one design.
+type Assessment struct {
+	Name        string
+	Analysis    *zones.Analysis
+	Worksheet   *fmea.Worksheet
+	Metrics     fmea.Metrics
+	SIL         iec61508.SIL
+	TargetSIL   iec61508.SIL
+	TargetMet   bool
+	Sensitivity fmea.Sensitivity
+	Validation  *Validation
+}
+
+// Run executes the flow over a DUT.
+func Run(dut DUT, opts Options) (*Assessment, error) {
+	a, err := dut.Analyze()
+	if err != nil {
+		return nil, fmt.Errorf("core: zone extraction: %w", err)
+	}
+	w := dut.Worksheet(a, opts.Rates)
+	m := w.Totals()
+	as := &Assessment{
+		Name:        dut.DesignName(),
+		Analysis:    a,
+		Worksheet:   w,
+		Metrics:     m,
+		SIL:         iec61508.MaxSIL(m.SFF(), opts.HFT, true),
+		TargetSIL:   opts.TargetSIL,
+		Sensitivity: w.SpanAssumptions(opts.Span),
+	}
+	as.TargetMet = as.SIL >= opts.TargetSIL
+	if !opts.RunValidation {
+		return as, nil
+	}
+
+	target := dut.Target(a)
+	golden, err := target.RunGolden(dut.ValidationTrace())
+	if err != nil {
+		return nil, fmt.Errorf("core: golden run: %w", err)
+	}
+	v := &Validation{}
+	var inactive []int
+	v.Complete, inactive = golden.CompletenessOK()
+	for _, zi := range inactive {
+		v.InactiveZones = append(v.InactiveZones, a.Zones[zi].Name)
+	}
+	plan := inject.BuildPlan(a, golden, opts.Plan)
+	v.Report, err = target.Run(golden, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: injection campaign: %w", err)
+	}
+	if opts.WideFaults > 0 {
+		widePlan := inject.WidePlan(a, golden, opts.WideFaults, opts.Plan.Seed+1)
+		v.WideReport, err = target.Run(golden, widePlan)
+		if err != nil {
+			return nil, fmt.Errorf("core: wide/global campaign: %w", err)
+		}
+	}
+	v.Rows = v.Report.ValidateWorksheet(a, w, opts.Tolerance)
+	v.PassFraction = inject.PassFraction(v.Rows)
+	v.Effects = v.Report.CheckEffects(a)
+	v.EffectsOK = true
+	for _, ec := range v.Effects {
+		if !ec.Consistent {
+			v.EffectsOK = false
+		}
+	}
+	toggleRep, err := target.ToggleCoverage(dut.CoverageTrace())
+	if err != nil {
+		return nil, fmt.Errorf("core: toggle measurement: %w", err)
+	}
+	v.ToggleRaw = toggleRep.Coverage()
+	v.ToggleAdj, _ = target.AdjustedToggle(toggleRep)
+	v.ToggleOK = v.ToggleAdj >= opts.ToggleThreshold
+	as.Validation = v
+	return as, nil
+}
+
+// Report renders the assessment as a certification-style text document.
+func (as *Assessment) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Safety assessment: %s ===\n\n", as.Name)
+	fmt.Fprintf(&b, "%s\n\n", as.Analysis.Summary())
+
+	t := report.NewTable("IEC 61508 metrics",
+		"λS [FIT]", "λD [FIT]", "λDD [FIT]", "λDU [FIT]", "DC", "SFF", "SIL (HFT0)")
+	t.AddRow(as.Metrics.LambdaS, as.Metrics.LambdaD, as.Metrics.LambdaDD,
+		as.Metrics.LambdaDU, as.Metrics.DC(), as.Metrics.SFF(), as.SIL.String())
+	b.WriteString(t.Render())
+	pfh := iec61508.PFH(as.Metrics.LambdaDU)
+	fmt.Fprintf(&b, "\nContinuous-mode PFH from λDU: %.3g /h (grades %v by the PFH table)\n",
+		pfh, iec61508.SILFromPFH(pfh))
+	fmt.Fprintf(&b, "Target %v: %s\n", as.TargetSIL, verdict(as.TargetMet))
+	fmt.Fprintf(&b, "Sensitivity: SFF in [%.4f, %.4f] (spread %.4f) across %d spans\n",
+		as.Sensitivity.MinSFF, as.Sensitivity.MaxSFF, as.Sensitivity.Spread(), len(as.Sensitivity.Cases))
+
+	rt := report.NewTable("\nTop criticality ranking (by λDU)", "#", "zone", "λDU [FIT]", "share")
+	for i, zr := range as.Worksheet.Ranking() {
+		if i >= 10 {
+			break
+		}
+		rt.AddRow(i+1, zr.ZoneName, zr.Metrics.LambdaDU, report.Pct(zr.ShareDU))
+	}
+	b.WriteString(rt.Render())
+
+	if v := as.Validation; v != nil {
+		fmt.Fprintf(&b, "\n--- Validation (fault injection) ---\n")
+		fmt.Fprintf(&b, "workload completeness: %s", verdict(v.Complete))
+		if len(v.InactiveZones) > 0 {
+			fmt.Fprintf(&b, " (untriggered: %v)", v.InactiveZones)
+		}
+		b.WriteByte('\n')
+		cov := v.Report.Coverage
+		fmt.Fprintf(&b, "campaign coverage: SENS %s, OBSE %s, DIAG %s, %d mismatches\n",
+			report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()), cov.Mismatches)
+		fmt.Fprintf(&b, "estimate cross-check: %s of zones within tolerance: %s\n",
+			report.Pct(v.PassFraction), verdict(v.PassFraction >= 0.9))
+		fmt.Fprintf(&b, "effects tables consistent with main/secondary analysis: %s\n", verdict(v.EffectsOK))
+		fmt.Fprintf(&b, "workload toggle efficiency: raw %s, adjusted %s: %s\n",
+			report.Pct(v.ToggleRaw), report.Pct(v.ToggleAdj), verdict(v.ToggleOK))
+		if v.WideReport != nil {
+			fmt.Fprintf(&b, "wide/global experiments: %d run, %d with multi-point effects\n",
+				len(v.WideReport.Results), multiEffect(v.WideReport))
+		}
+	}
+	return b.String()
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+func multiEffect(r *inject.Report) int {
+	n := 0
+	for _, res := range r.Results {
+		if len(res.Deviated) >= 2 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/iec61508"
+	"repro/internal/inject"
+	"repro/internal/memsys"
+)
+
+// flowDUT builds a flow-ready DUT. addrWidth 8 is the calibrated
+// full-size memory (for metric assertions); 6 keeps injection campaigns
+// fast (the SFF calibration shifts with the logic/memory ratio).
+func flowDUT(t *testing.T, v2 bool, addrWidth int) *memsys.FlowDUT {
+	t.Helper()
+	var cfg memsys.Config
+	if v2 {
+		cfg = memsys.V2Config()
+	} else {
+		cfg = memsys.V1Config()
+	}
+	cfg.AddrWidth = addrWidth
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := memsys.NewFlowDUT(d)
+	f.ValidationWords = 4
+	return f
+}
+
+func TestFlowWithoutValidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RunValidation = false
+	as, err := Run(flowDUT(t, true, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Validation != nil {
+		t.Error("validation present despite RunValidation=false")
+	}
+	if as.SIL != iec61508.SIL3 || !as.TargetMet {
+		t.Errorf("v2 flow SIL = %v targetMet=%v", as.SIL, as.TargetMet)
+	}
+	if as.Metrics.SFF() < 0.99 {
+		t.Errorf("v2 SFF = %v", as.Metrics.SFF())
+	}
+	rep := as.Report()
+	for _, want := range []string{"Safety assessment", "SFF", "PASS", "criticality"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFlowV1FailsTarget(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RunValidation = false
+	as, err := Run(flowDUT(t, false, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.TargetMet {
+		t.Error("v1 must fail the SIL3 target")
+	}
+	if !strings.Contains(as.Report(), "FAIL") {
+		t.Error("report should show FAIL verdict")
+	}
+}
+
+func TestFullFlowWithValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation flow is slow")
+	}
+	opts := DefaultOptions()
+	opts.Plan = inject.PlanConfig{TransientPerZone: 1, PermanentPerZone: 1, Seed: 1}
+	opts.WideFaults = 4
+	opts.ToggleThreshold = 0.95
+	opts.Tolerance = 0.6
+	as, err := Run(flowDUT(t, true, 6), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := as.Validation
+	if v == nil {
+		t.Fatal("no validation result")
+	}
+	if !v.Complete {
+		t.Errorf("workload incomplete: %v", v.InactiveZones)
+	}
+	if v.Report == nil || len(v.Report.Results) == 0 {
+		t.Fatal("no injection results")
+	}
+	if v.WideReport == nil || len(v.WideReport.Results) != 8 { // both polarities per site
+		t.Error("wide report missing")
+	}
+	if !v.ToggleOK {
+		t.Errorf("toggle: raw %.4f adj %.4f", v.ToggleRaw, v.ToggleAdj)
+	}
+	if v.PassFraction < 0.7 {
+		for _, r := range v.Rows {
+			if !r.Within {
+				t.Logf("over-claimed: %s estS=%.2f measS=%.2f estDDF=%.2f measDDF=%.2f",
+					r.Name, r.EstS, r.MeasS, r.EstDDF, r.MeasDDF)
+			}
+		}
+		t.Errorf("validation pass fraction = %.2f", v.PassFraction)
+	}
+	rep := as.Report()
+	for _, want := range []string{"Validation", "campaign coverage", "toggle"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestSRSDocument(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RunValidation = false
+	as, err := Run(flowDUT(t, true, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srs := as.SRS()
+	for _, want := range []string{
+		"SAFETY REQUIREMENTS SPECIFICATION",
+		"SAFETY FUNCTION",
+		"SAFETY INTEGRITY TARGET",
+		"FAILURE MODES AND EFFECTS ANALYSIS",
+		"CLAIMED DIAGNOSTIC TECHNIQUES",
+		"RAM monitoring with Hamming code",
+		"MOST CRITICAL ELEMENTS",
+		"VALIDATION EVIDENCE",
+		"analytical only",
+		"VERDICT",
+		"PASS",
+	} {
+		if !strings.Contains(srs, want) {
+			t.Errorf("SRS missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package faultsim is the gate-level fault simulator of the validation
+// flow (Section 5c): a 64-way bit-parallel single-stuck-at simulator
+// (PPSFP — parallel-pattern single-fault propagation across lanes) plus
+// the toggle-coverage measurement used to qualify workload efficiency
+// (Section 5b).
+//
+// Lane 0 always carries the golden circuit; lanes 1..63 each carry one
+// faulty circuit, so one pass simulates 63 faults against the whole
+// workload. Designs must be pure gate/FF logic (no behavioral
+// peripherals) and workloads must be fully binary.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/workload"
+)
+
+const lanesPerPass = 63 // lane 0 is golden
+
+// Engine simulates a netlist in 64 parallel lanes.
+type Engine struct {
+	n     *netlist.Netlist
+	order []netlist.GateID
+
+	values []uint64 // per net
+	state  []uint64 // per FF
+
+	// Per-pass fault masks.
+	netOr  map[netlist.NetID]uint64
+	netClr map[netlist.NetID]uint64
+	pin    map[netlist.GateID][]pinMask
+}
+
+type pinMask struct {
+	pin int
+	or  uint64
+	clr uint64
+}
+
+// New builds an engine. The design must validate and must not contain
+// peripheral-driven (external) nets.
+func New(n *netlist.Netlist) (*Engine, error) {
+	if len(n.Externals) > 0 {
+		return nil, fmt.Errorf("faultsim: design %q has %d peripheral port(s); fault simulation requires pure logic", n.Name, len(n.Externals))
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		n:      n,
+		order:  order,
+		values: make([]uint64, len(n.Nets)),
+		state:  make([]uint64, len(n.FFs)),
+		netOr:  make(map[netlist.NetID]uint64),
+		netClr: make(map[netlist.NetID]uint64),
+		pin:    make(map[netlist.GateID][]pinMask),
+	}, nil
+}
+
+// Detection records where a fault became visible.
+type Detection struct {
+	Func bool // differed from golden on a functional observation net
+	Diag bool // differed from golden on a diagnostic (alarm) net
+}
+
+// Result summarizes a fault-simulation campaign.
+type Result struct {
+	PerFault []Detection
+	Total    int
+	AnyDet   int // detected at func or diag points
+	FuncDet  int
+	DiagDet  int
+}
+
+// Coverage is the classic fault coverage: fraction of faults observable
+// at any observation point.
+func (r Result) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.AnyDet) / float64(r.Total)
+}
+
+// DiagOfDangerous returns the fraction of faults visible at functional
+// outputs that the diagnostic points also caught — the fault-simulation
+// counterpart of the detected-dangerous fraction.
+func (r Result) DiagOfDangerous() float64 {
+	dangerous, caught := 0, 0
+	for _, d := range r.PerFault {
+		if d.Func {
+			dangerous++
+			if d.Diag {
+				caught++
+			}
+		}
+	}
+	if dangerous == 0 {
+		return 1
+	}
+	return float64(caught) / float64(dangerous)
+}
+
+// Run simulates the fault list against the workload trace, observing
+// funcObs (functional outputs) and diagObs (alarms). Only stuck-at
+// faults (net or pin site) are accepted.
+func (e *Engine) Run(tr *workload.Trace, funcObs, diagObs []netlist.NetID, list []faults.Fault) (Result, error) {
+	for _, f := range list {
+		if f.Kind != faults.SA0 && f.Kind != faults.SA1 {
+			return Result{}, fmt.Errorf("faultsim: unsupported fault kind %v (only stuck-at)", f.Kind)
+		}
+	}
+	res := Result{PerFault: make([]Detection, len(list)), Total: len(list)}
+	for base := 0; base < len(list); base += lanesPerPass {
+		chunk := list[base:min(base+lanesPerPass, len(list))]
+		funcMask, diagMask := e.runPass(tr, funcObs, diagObs, chunk)
+		for i := range chunk {
+			lane := uint(i + 1)
+			d := &res.PerFault[base+i]
+			d.Func = funcMask>>lane&1 == 1
+			d.Diag = diagMask>>lane&1 == 1
+		}
+	}
+	for _, d := range res.PerFault {
+		if d.Func {
+			res.FuncDet++
+		}
+		if d.Diag {
+			res.DiagDet++
+		}
+		if d.Func || d.Diag {
+			res.AnyDet++
+		}
+	}
+	return res, nil
+}
+
+// runPass simulates golden + one chunk of faults through the full trace,
+// returning lane masks of func/diag detections.
+func (e *Engine) runPass(tr *workload.Trace, funcObs, diagObs []netlist.NetID, chunk []faults.Fault) (funcMask, diagMask uint64) {
+	e.installMasks(chunk)
+	defer e.clearMasks()
+
+	n := e.n
+	// Reset state.
+	for i := range n.FFs {
+		if n.FFs[i].ResetVal {
+			e.state[i] = ^uint64(0)
+		} else {
+			e.state[i] = 0
+		}
+	}
+	portNets := make([][]netlist.NetID, len(tr.Ports))
+	for i, name := range tr.Ports {
+		p, ok := n.FindInput(name)
+		if !ok {
+			panic(fmt.Sprintf("faultsim: trace port %q not an input of %q", name, n.Name))
+		}
+		portNets[i] = p.Nets
+	}
+	next := make([]uint64, len(n.FFs))
+	for cycle := 0; cycle < tr.Cycles(); cycle++ {
+		// Drive sources.
+		if n.Const0 != netlist.InvalidNet {
+			e.values[n.Const0] = e.mask(n.Const0, 0)
+		}
+		if n.Const1 != netlist.InvalidNet {
+			e.values[n.Const1] = e.mask(n.Const1, ^uint64(0))
+		}
+		vec := tr.Vecs[cycle]
+		for pi, nets := range portNets {
+			v := vec[pi]
+			for bit, id := range nets {
+				var w uint64
+				if v>>uint(bit)&1 == 1 {
+					w = ^uint64(0)
+				}
+				e.values[id] = e.mask(id, w)
+			}
+		}
+		for i := range n.FFs {
+			q := n.FFs[i].Q
+			e.values[q] = e.mask(q, e.state[i])
+		}
+		// Evaluate.
+		for _, gid := range e.order {
+			g := &n.Gates[gid]
+			e.values[g.Output] = e.mask(g.Output, e.evalGate(g))
+		}
+		// Observe.
+		for _, id := range funcObs {
+			w := e.values[id]
+			funcMask |= w ^ broadcastLane0(w)
+		}
+		for _, id := range diagObs {
+			w := e.values[id]
+			diagMask |= w ^ broadcastLane0(w)
+		}
+		// Clock.
+		for i := range n.FFs {
+			ff := &n.FFs[i]
+			d := e.values[ff.D]
+			if ff.Enable != netlist.InvalidNet {
+				en := e.values[ff.Enable]
+				next[i] = en&d | ^en&e.state[i]
+			} else {
+				next[i] = d
+			}
+		}
+		copy(e.state, next)
+	}
+	return funcMask &^ 1, diagMask &^ 1
+}
+
+func (e *Engine) installMasks(chunk []faults.Fault) {
+	for i, f := range chunk {
+		lane := uint64(1) << uint(i+1)
+		switch f.Site {
+		case faults.SiteNet:
+			if f.Kind == faults.SA1 {
+				e.netOr[f.Net] |= lane
+			} else {
+				e.netClr[f.Net] |= lane
+			}
+		case faults.SitePin:
+			pm := pinMask{pin: f.Pin}
+			if f.Kind == faults.SA1 {
+				pm.or = lane
+			} else {
+				pm.clr = lane
+			}
+			e.pin[f.Gate] = append(e.pin[f.Gate], pm)
+		default:
+			panic("faultsim: unsupported fault site")
+		}
+	}
+}
+
+func (e *Engine) clearMasks() {
+	for k := range e.netOr {
+		delete(e.netOr, k)
+	}
+	for k := range e.netClr {
+		delete(e.netClr, k)
+	}
+	for k := range e.pin {
+		delete(e.pin, k)
+	}
+}
+
+// mask applies net stuck-at masks to a driven word.
+func (e *Engine) mask(id netlist.NetID, w uint64) uint64 {
+	if len(e.netClr) > 0 {
+		if clr, ok := e.netClr[id]; ok {
+			w &^= clr
+		}
+	}
+	if len(e.netOr) > 0 {
+		if or, ok := e.netOr[id]; ok {
+			w |= or
+		}
+	}
+	return w
+}
+
+func (e *Engine) in(g *netlist.Gate, pin int) uint64 {
+	w := e.values[g.Inputs[pin]]
+	if pms, ok := e.pin[g.ID]; ok {
+		for _, pm := range pms {
+			if pm.pin == pin {
+				w = w&^pm.clr | pm.or
+			}
+		}
+	}
+	return w
+}
+
+func (e *Engine) evalGate(g *netlist.Gate) uint64 {
+	switch g.Type {
+	case netlist.BUF:
+		return e.in(g, 0)
+	case netlist.NOT:
+		return ^e.in(g, 0)
+	case netlist.AND, netlist.NAND:
+		acc := ^uint64(0)
+		for i := range g.Inputs {
+			acc &= e.in(g, i)
+		}
+		if g.Type == netlist.NAND {
+			return ^acc
+		}
+		return acc
+	case netlist.OR, netlist.NOR:
+		acc := uint64(0)
+		for i := range g.Inputs {
+			acc |= e.in(g, i)
+		}
+		if g.Type == netlist.NOR {
+			return ^acc
+		}
+		return acc
+	case netlist.XOR, netlist.XNOR:
+		acc := uint64(0)
+		for i := range g.Inputs {
+			acc ^= e.in(g, i)
+		}
+		if g.Type == netlist.XNOR {
+			return ^acc
+		}
+		return acc
+	case netlist.MUX2:
+		sel := e.in(g, 0)
+		return sel&e.in(g, 2) | ^sel&e.in(g, 1)
+	}
+	panic(fmt.Sprintf("faultsim: unknown gate type %v", g.Type))
+}
+
+func broadcastLane0(w uint64) uint64 {
+	return (w & 1) * ^uint64(0)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

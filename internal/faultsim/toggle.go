@@ -1,0 +1,111 @@
+package faultsim
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/workload"
+)
+
+// ToggleReport is the workload-efficiency measure of the validation flow
+// (Section 5b): which nets the workload exercised at both logic levels.
+type ToggleReport struct {
+	// Covered nets saw both 0 and 1 during the workload.
+	Covered int
+	// Eligible excludes constant nets, which can never toggle.
+	Eligible int
+	// Untoggled lists eligible nets that never saw both levels.
+	Untoggled []netlist.NetID
+}
+
+// Coverage returns covered/eligible in [0,1]; 1 for empty designs.
+func (t ToggleReport) Coverage() float64 {
+	if t.Eligible == 0 {
+		return 1
+	}
+	return float64(t.Covered) / float64(t.Eligible)
+}
+
+// Passes applies the validation threshold (the paper's default is 99%).
+func (t ToggleReport) Passes(threshold float64) bool {
+	return t.Coverage() >= threshold
+}
+
+// ToggleCoverage runs the golden design against the trace and measures
+// per-net toggle coverage.
+func (e *Engine) ToggleCoverage(tr *workload.Trace) ToggleReport {
+	n := e.n
+	seen0 := make([]bool, len(n.Nets))
+	seen1 := make([]bool, len(n.Nets))
+	for i := range n.FFs {
+		if n.FFs[i].ResetVal {
+			e.state[i] = ^uint64(0)
+		} else {
+			e.state[i] = 0
+		}
+	}
+	portNets := make([][]netlist.NetID, len(tr.Ports))
+	for i, name := range tr.Ports {
+		p, _ := n.FindInput(name)
+		portNets[i] = p.Nets
+	}
+	next := make([]uint64, len(n.FFs))
+	for cycle := 0; cycle < tr.Cycles(); cycle++ {
+		if n.Const0 != netlist.InvalidNet {
+			e.values[n.Const0] = 0
+		}
+		if n.Const1 != netlist.InvalidNet {
+			e.values[n.Const1] = ^uint64(0)
+		}
+		vec := tr.Vecs[cycle]
+		for pi, nets := range portNets {
+			for bit, id := range nets {
+				if vec[pi]>>uint(bit)&1 == 1 {
+					e.values[id] = ^uint64(0)
+				} else {
+					e.values[id] = 0
+				}
+			}
+		}
+		for i := range n.FFs {
+			e.values[n.FFs[i].Q] = e.state[i]
+		}
+		for _, gid := range e.order {
+			g := &n.Gates[gid]
+			e.values[g.Output] = e.evalGate(g)
+		}
+		for id := range n.Nets {
+			if e.values[id]&1 == 1 {
+				seen1[id] = true
+			} else {
+				seen0[id] = true
+			}
+		}
+		for i := range n.FFs {
+			ff := &n.FFs[i]
+			d := e.values[ff.D]
+			if ff.Enable != netlist.InvalidNet {
+				en := e.values[ff.Enable]
+				next[i] = en&d | ^en&e.state[i]
+			} else {
+				next[i] = d
+			}
+		}
+		copy(e.state, next)
+	}
+	rep := ToggleReport{}
+	for id := range n.Nets {
+		nid := netlist.NetID(id)
+		if _, isConst := n.IsConst(nid); isConst {
+			continue
+		}
+		if !n.IsDriven(nid) {
+			continue // orphaned by pruning; no silicon behind it
+		}
+		rep.Eligible++
+		if seen0[id] && seen1[id] {
+			rep.Covered++
+		} else {
+			rep.Untoggled = append(rep.Untoggled, nid)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,117 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestDefaultSane(t *testing.T) {
+	r := Default()
+	if r.MemBitTransient <= r.MemBitPermanent {
+		t.Error("memory transients should dominate permanents")
+	}
+	if r.LatchingFraction <= 0 || r.LatchingFraction > 1 {
+		t.Errorf("latching fraction %v out of (0,1]", r.LatchingFraction)
+	}
+	if r.FFTransient <= 0 || r.GatePermanent <= 0 {
+		t.Error("rates must be positive")
+	}
+}
+
+func TestRegisterZone(t *testing.T) {
+	r := Default()
+	c := r.RegisterZone(4, 10)
+	wantT := 4*r.FFTransient + 10*r.GateTransient*r.LatchingFraction
+	wantP := 4*r.FFPermanent + 10*r.GatePermanent
+	if !close(c.Transient, wantT) || !close(c.Permanent, wantP) {
+		t.Errorf("RegisterZone = %+v, want {%v %v}", c, wantT, wantP)
+	}
+	if !close(c.Total(), wantT+wantP) {
+		t.Error("Total wrong")
+	}
+}
+
+func TestLogicConeAndMemory(t *testing.T) {
+	r := Default()
+	lc := r.LogicCone(100)
+	if !close(lc.Permanent, 100*r.GatePermanent) {
+		t.Error("LogicCone permanent wrong")
+	}
+	mem := r.MemoryArray(1024)
+	if !close(mem.Transient, 1024*r.MemBitTransient) {
+		t.Error("MemoryArray transient wrong")
+	}
+}
+
+func TestContributionAlgebra(t *testing.T) {
+	a := Contribution{1, 2}
+	b := Contribution{3, 4}
+	if got := a.Add(b); !close(got.Transient, 4) || !close(got.Permanent, 6) {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Scale(2.5); !close(got.Transient, 2.5) || !close(got.Permanent, 5) {
+		t.Errorf("Scale = %+v", got)
+	}
+}
+
+func TestScaleAllLinear(t *testing.T) {
+	r := Default()
+	f := func(ff, gates uint8, scale float64) bool {
+		s := math.Abs(scale)
+		if s > 100 {
+			s = math.Mod(s, 100)
+		}
+		base := r.RegisterZone(int(ff), int(gates))
+		scaled := r.ScaleAll(s).RegisterZone(int(ff), int(gates))
+		return math.Abs(scaled.Total()-base.Total()*s) < 1e-9*(1+base.Total()*s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleTransientOnly(t *testing.T) {
+	r := Default()
+	s := r.ScaleTransient(3)
+	if !close(s.FFTransient, 3*r.FFTransient) || !close(s.MemBitTransient, 3*r.MemBitTransient) {
+		t.Error("transient rates not scaled")
+	}
+	if !close(s.FFPermanent, r.FFPermanent) || !close(s.GatePermanent, r.GatePermanent) {
+		t.Error("permanent rates must be untouched")
+	}
+	if !close(s.LatchingFraction, r.LatchingFraction) {
+		t.Error("latching fraction must be untouched")
+	}
+}
+
+func TestScalePermanentOnly(t *testing.T) {
+	r := Default()
+	s := r.ScalePermanent(0.5)
+	if !close(s.GatePermanent, 0.5*r.GatePermanent) {
+		t.Error("permanent not scaled")
+	}
+	if !close(s.GateTransient, r.GateTransient) {
+		t.Error("transient must be untouched")
+	}
+}
+
+// SFF-style ratios must be invariant under uniform rate scaling — the
+// core reason absolute calibration doesn't matter.
+func TestRatioInvariance(t *testing.T) {
+	r := Default()
+	for _, scale := range []float64{0.1, 0.5, 2, 10} {
+		s := r.ScaleAll(scale)
+		a := r.RegisterZone(8, 50)
+		b := r.MemoryArray(4096)
+		as := s.RegisterZone(8, 50)
+		bs := s.MemoryArray(4096)
+		ratio := a.Total() / (a.Total() + b.Total())
+		ratioS := as.Total() / (as.Total() + bs.Total())
+		if math.Abs(ratio-ratioS) > 1e-12 {
+			t.Errorf("scale %v changed ratio: %v vs %v", scale, ratio, ratioS)
+		}
+	}
+}

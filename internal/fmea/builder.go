@@ -1,0 +1,136 @@
+package fmea
+
+import (
+	"repro/internal/fit"
+	"repro/internal/iec61508"
+	"repro/internal/zones"
+)
+
+// OwnershipWeights distributes each gate's failure-rate contribution
+// across the zones whose cones contain it, so the worksheet conserves
+// the design's total FIT: a gate shared by k owning cones contributes
+// 1/k of its rate to each. Owning kinds are Register, Output and
+// Peripheral (sub-block and critical-net zones overlap register cones
+// by construction and would double-count).
+func OwnershipWeights(a *zones.Analysis) map[int]float64 {
+	owns := func(k zones.Kind) bool {
+		return k == zones.Register || k == zones.Output || k == zones.Peripheral
+	}
+	touch := make(map[int]int) // gateID -> owning cone count
+	for zi := range a.Zones {
+		if !owns(a.Zones[zi].Kind) {
+			continue
+		}
+		for _, g := range a.Cones[zi].Gates {
+			touch[int(g)]++
+		}
+	}
+	eff := make(map[int]float64, len(a.Zones))
+	for zi := range a.Zones {
+		if !owns(a.Zones[zi].Kind) {
+			continue
+		}
+		sum := 0.0
+		for _, g := range a.Cones[zi].Gates {
+			sum += 1.0 / float64(touch[int(g)])
+		}
+		eff[zi] = sum
+	}
+	return eff
+}
+
+// Override lets a caller replace or extend the default row set of a
+// zone. Returning nil keeps the defaults; returning an empty non-nil
+// slice drops the zone from the worksheet.
+type Override func(z *zones.Zone, defaults []Spec) []Spec
+
+// FromAnalysis builds a worksheet from a zone analysis with generic
+// default assumptions (S = 0.5, F1, ζ = 0.5, no diagnostics). Real
+// designs refine the defaults through the override: the case study sets
+// per-block S/F/ζ and the claimed DDF per protection mechanism.
+func FromAnalysis(a *zones.Analysis, rates fit.Rates, override Override) *Worksheet {
+	w := New(a.N.Name)
+	eff := OwnershipWeights(a)
+	for zi := range a.Zones {
+		z := &a.Zones[zi]
+		specs := defaultSpecs(z, a, rates, eff[zi])
+		if override != nil {
+			if replaced := override(z, specs); replaced != nil {
+				specs = replaced
+			}
+		}
+		for _, sp := range specs {
+			w.AddRow(z.ID, z.Name, sp)
+		}
+	}
+	return w
+}
+
+func defaultSpecs(z *zones.Zone, a *zones.Analysis, rates fit.Rates, effGates float64) []Spec {
+	const (
+		defaultS    = 0.5
+		defaultLife = 0.5
+	)
+	switch z.Kind {
+	case zones.Register:
+		ff := len(z.FFs)
+		return []Spec{
+			{
+				Mode: iec61508.FMTransient,
+				Lambda: fit.Contribution{
+					Transient: float64(ff)*rates.FFTransient + effGates*rates.GateTransient*rates.LatchingFraction,
+				},
+				S: defaultS, Freq: F1, Lifetime: defaultLife,
+			},
+			{
+				Mode:   iec61508.FMRegisterStuck,
+				Lambda: fit.Contribution{Permanent: float64(ff) * rates.FFPermanent},
+				S:      defaultS, Freq: F1, Lifetime: 1,
+			},
+			{
+				Mode:   iec61508.FMStuckAtLogic,
+				Lambda: fit.Contribution{Permanent: effGates * rates.GatePermanent},
+				S:      defaultS, Freq: F1, Lifetime: 1,
+			},
+		}
+	case zones.Output:
+		return []Spec{
+			{
+				Mode:   iec61508.FMStuckAtLogic,
+				Lambda: fit.Contribution{Permanent: effGates * rates.GatePermanent},
+				S:      defaultS, Freq: F1, Lifetime: 1,
+			},
+			{
+				Mode: iec61508.FMTransient,
+				Lambda: fit.Contribution{
+					Transient: effGates * rates.GateTransient * rates.LatchingFraction,
+				},
+				S: defaultS, Freq: F1, Lifetime: defaultLife,
+			},
+		}
+	case zones.CriticalNet:
+		// One buffer-equivalent; the criticality of the net comes from
+		// its wide-fault reach, modeled as fully dangerous (S = 0).
+		return []Spec{{
+			Mode: iec61508.FMClockFault,
+			Lambda: fit.Contribution{
+				Transient: rates.GateTransient * rates.LatchingFraction,
+				Permanent: rates.GatePermanent,
+			},
+			S: 0, Freq: F1, Lifetime: 1,
+		}}
+	case zones.Input:
+		// Pad/bond-equivalent per bit.
+		return []Spec{{
+			Mode:   iec61508.FMStuckAtLogic,
+			Lambda: fit.Contribution{Permanent: float64(len(z.Outputs)) * rates.GatePermanent},
+			S:      defaultS, Freq: F1, Lifetime: 1,
+		}}
+	case zones.SubBlock:
+		// Sub-block zones overlap register cones; they exist for effect
+		// analysis, not for rate accounting.
+		return []Spec{}
+	default: // Peripheral: rates unknown here, caller must override.
+		return []Spec{}
+	}
+}

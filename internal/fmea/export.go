@@ -1,0 +1,62 @@
+package fmea
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the worksheet in the spreadsheet's column layout:
+// zone, failure mode, λ components, factors, claims, and the computed
+// per-row metrics.
+func (w *Worksheet) WriteCSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	header := []string{
+		"zone", "failure_mode", "lambda_transient_fit", "lambda_permanent_fit",
+		"S", "freq", "lifetime",
+		"ddf_hw_trans", "ddf_hw_perm", "ddf_sw_trans", "ddf_sw_perm",
+		"tech_hw", "tech_sw",
+		"lambda_s", "lambda_d", "lambda_dd", "lambda_du", "dc", "sff", "note",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for i := range w.Rows {
+		r := &w.Rows[i]
+		m := r.RowMetrics()
+		rec := []string{
+			r.ZoneName, r.Mode.String(),
+			f(r.Lambda.Transient), f(r.Lambda.Permanent),
+			f(r.S), r.Freq.String(), f(r.Lifetime),
+			f(r.DDF.HWTransient), f(r.DDF.HWPermanent),
+			f(r.DDF.SWTransient), f(r.DDF.SWPermanent),
+			string(r.TechHW), string(r.TechSW),
+			f(m.LambdaS), f(m.LambdaD), f(m.LambdaDD), f(m.LambdaDU),
+			f(m.DC()), f(m.SFF()), r.Note,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	// Totals row.
+	tot := w.Totals()
+	rec := []string{
+		"TOTAL", "", "", "", "", "", "", "", "", "", "", "", "",
+		f(tot.LambdaS), f(tot.LambdaD), f(tot.LambdaDD), f(tot.LambdaDU),
+		f(tot.DC()), f(tot.SFF()), "",
+	}
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary renders the SoC-level metrics in one line.
+func (w *Worksheet) Summary() string {
+	m := w.Totals()
+	return fmt.Sprintf("%s: λS=%.4g λD=%.4g λDD=%.4g λDU=%.4g DC=%.4f SFF=%.4f (%s @ HFT0)",
+		w.Design, m.LambdaS, m.LambdaD, m.LambdaDD, m.LambdaDU, m.DC(), m.SFF(), w.SIL(0))
+}

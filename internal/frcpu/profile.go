@@ -1,0 +1,107 @@
+package frcpu
+
+import (
+	"strings"
+
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/iec61508"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/zones"
+)
+
+// Analyze extracts the sensible zones of the processing unit.
+func (d *Design) Analyze() (*zones.Analysis, error) {
+	cfg := zones.DefaultConfig()
+	cfg.SubBlockMinGates = 20
+	return zones.Extract(d.N, cfg)
+}
+
+// Worksheet fills the FMEA for the processing unit against the
+// IEC 61508 processing-unit failure-mode catalog: register/flag
+// corruption, wrong coding (decode cone), wrong execution (ALU/control
+// cones). With lockstep, everything inside the duplicated cores is
+// claimed at the norm's "high" level for hardware comparison; the
+// comparator and its alarm register remain uncovered (single point).
+func (d *Design) Worksheet(a *zones.Analysis, rates fit.Rates) *fmea.Worksheet {
+	lock := d.Cfg.Lockstep
+	return fmea.FromAnalysis(a, rates, func(z *zones.Zone, defaults []fmea.Spec) []fmea.Spec {
+		inCore := strings.HasPrefix(z.Block, "CPU_A") || strings.HasPrefix(z.Block, "CPU_B")
+		for i := range defaults {
+			sp := &defaults[i]
+			sp.S = 0.35 // a CPU consumes nearly all of its state
+			sp.Freq = fmea.F1
+			if sp.Mode == iec61508.FMTransient {
+				sp.Lifetime = 0.8
+			}
+			// Re-map generic modes onto the processing-unit catalog.
+			switch sp.Mode {
+			case iec61508.FMRegisterStuck:
+				// keep: DC fault model on internal registers
+			case iec61508.FMStuckAtLogic:
+				sp.Mode = iec61508.FMWrongExecution
+			case iec61508.FMTransient:
+				// keep: soft errors in sequential state
+			}
+			if lock && inCore {
+				sp.DDF = fmea.DDF{HWTransient: 0.99, HWPermanent: 0.99}
+				sp.TechHW = iec61508.TechLockstep
+				sp.Note = "inside lockstep sphere"
+			} else if lock {
+				sp.Note = "outside lockstep sphere (comparator/alarm)"
+			}
+		}
+		return defaults
+	})
+}
+
+// Workload returns a free-running trace (run held high) of the given
+// length; the program itself is the stimulus.
+func (d *Design) Workload(cycles int) *workload.Trace {
+	tr := workload.NewTrace("run")
+	tr.Add(map[string]uint64{"run": 1})
+	tr.AddIdle(cycles - 1)
+	return tr
+}
+
+// InjectionTarget adapts the design to the fault injector.
+func (d *Design) InjectionTarget(a *zones.Analysis) *inject.Target {
+	return &inject.Target{
+		Analysis: a,
+		NewInstance: func() (*sim.Simulator, error) {
+			return sim.New(d.N)
+		},
+	}
+}
+
+// FlowDUT adapts the processing unit to the core assessment flow.
+type FlowDUT struct {
+	D      *Design
+	Cycles int
+}
+
+// NewFlowDUT wraps a design with flow defaults.
+func NewFlowDUT(d *Design) *FlowDUT { return &FlowDUT{D: d, Cycles: 150} }
+
+// DesignName implements core.DUT.
+func (f *FlowDUT) DesignName() string { return f.D.Cfg.Name }
+
+// Analyze implements core.DUT.
+func (f *FlowDUT) Analyze() (*zones.Analysis, error) { return f.D.Analyze() }
+
+// Worksheet implements core.DUT.
+func (f *FlowDUT) Worksheet(a *zones.Analysis, rates fit.Rates) *fmea.Worksheet {
+	return f.D.Worksheet(a, rates)
+}
+
+// Target implements core.DUT.
+func (f *FlowDUT) Target(a *zones.Analysis) *inject.Target { return f.D.InjectionTarget(a) }
+
+// ValidationTrace implements core.DUT.
+func (f *FlowDUT) ValidationTrace() *workload.Trace { return f.D.Workload(f.Cycles) }
+
+// CoverageTrace implements core.DUT. The program is the stimulus; toggle
+// coverage is bounded by what the baked ROM exercises.
+func (f *FlowDUT) CoverageTrace() *workload.Trace { return f.D.Workload(2 * f.Cycles) }

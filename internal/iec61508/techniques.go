@@ -1,0 +1,115 @@
+package iec61508
+
+import "sort"
+
+// DCLevel is the norm's coarse diagnostic-coverage grading.
+type DCLevel uint8
+
+// The three claimable levels; the norm attaches 60 % / 90 % / 99 % as
+// the maximum DC considered achievable at each level.
+const (
+	DCLow DCLevel = iota
+	DCMedium
+	DCHigh
+)
+
+func (l DCLevel) String() string {
+	switch l {
+	case DCLow:
+		return "low"
+	case DCMedium:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// Value returns the maximum diagnostic coverage claimable at the level.
+func (l DCLevel) Value() float64 {
+	switch l {
+	case DCLow:
+		return 0.60
+	case DCMedium:
+		return 0.90
+	default:
+		return 0.99
+	}
+}
+
+// Technique identifies a diagnostic technique assessed by the norm's
+// Tables A.2–A.13 (excerpted to the techniques the memory sub-system
+// case study uses).
+type Technique string
+
+// Techniques referenced by the case study and the FMEA defaults.
+const (
+	TechNone              Technique = "none"
+	TechECCHamming        Technique = "RAM monitoring with Hamming code (SEC-DED)"
+	TechDoubleRAM         Technique = "double RAM with hardware comparison"
+	TechParityBit         Technique = "parity bit per word"
+	TechAddressCoding     Technique = "address folded into block coding"
+	TechRedundantChecker  Technique = "duplicated checker with comparison"
+	TechSyndromeCheck     Technique = "distributed syndrome checking"
+	TechWatchdog          Technique = "watchdog timer"
+	TechSWStartupTest     Technique = "software start-up test"
+	TechMPUAttributeCheck Technique = "bus attribute / access permission check"
+	TechScrubbing         Technique = "periodic memory scrubbing"
+	TechLockstep          Technique = "dual-core lockstep with hardware comparison"
+)
+
+// techniqueDC is the norm-claimed maximum DC level per technique. The
+// values follow IEC 61508-2 Annex A: coding techniques (Hamming/ECC) and
+// full hardware redundancy rate "high"; parity and watchdogs "low";
+// test-based and attribute checks "medium".
+var techniqueDC = map[Technique]DCLevel{
+	TechECCHamming:        DCHigh,
+	TechDoubleRAM:         DCHigh,
+	TechParityBit:         DCLow,
+	TechAddressCoding:     DCHigh,
+	TechRedundantChecker:  DCHigh,
+	TechSyndromeCheck:     DCMedium,
+	TechWatchdog:          DCLow,
+	TechSWStartupTest:     DCMedium,
+	TechMPUAttributeCheck: DCMedium,
+	TechScrubbing:         DCMedium,
+	TechLockstep:          DCHigh,
+}
+
+// MaxDC returns the maximum diagnostic coverage the norm considers
+// achievable for a technique (0 for TechNone/unknown).
+func MaxDC(t Technique) float64 {
+	if lvl, ok := techniqueDC[t]; ok {
+		return lvl.Value()
+	}
+	return 0
+}
+
+// DCLevelOf returns the norm's level grade for a technique.
+func DCLevelOf(t Technique) (DCLevel, bool) {
+	lvl, ok := techniqueDC[t]
+	return lvl, ok
+}
+
+// Techniques lists the assessed techniques in deterministic order.
+func Techniques() []Technique {
+	out := make([]Technique, 0, len(techniqueDC))
+	for t := range techniqueDC {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClampClaim limits a user-estimated diagnostic coverage to the norm's
+// maximum for the claiming technique, per Section 4 of the paper ("what
+// accepted by the IEC norm, Annex 2 tables A.2–A.13").
+func ClampClaim(t Technique, estimated float64) float64 {
+	max := MaxDC(t)
+	if estimated > max {
+		return max
+	}
+	if estimated < 0 {
+		return 0
+	}
+	return estimated
+}

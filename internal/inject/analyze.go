@@ -1,0 +1,191 @@
+package inject
+
+import (
+	"sort"
+
+	"repro/internal/fmea"
+	"repro/internal/zones"
+)
+
+// ZoneMeasure aggregates the injection outcomes of one zone — the
+// measured counterparts of the worksheet's S, D and DDF values.
+type ZoneMeasure struct {
+	Zone        int
+	Name        string
+	Experiments int
+	Silent      int
+	DetSafe     int
+	DangerDet   int
+	DangerUndet int
+	// EffectObs is the union of observation points the zone's failures
+	// reached (the "table of effects").
+	EffectObs []int
+}
+
+// SMeasured is the measured safe fraction: failures with no functional
+// deviation.
+func (z ZoneMeasure) SMeasured() float64 {
+	if z.Experiments == 0 {
+		return 1
+	}
+	return float64(z.Silent+z.DetSafe) / float64(z.Experiments)
+}
+
+// DDFMeasured is the measured detected-dangerous fraction.
+func (z ZoneMeasure) DDFMeasured() float64 {
+	d := z.DangerDet + z.DangerUndet
+	if d == 0 {
+		return 1
+	}
+	return float64(z.DangerDet) / float64(d)
+}
+
+// ZoneMeasures folds the campaign results per zone (result-analyzer
+// stage, "automatically fills a sheet included in the FMEA spreadsheet").
+func (r *Report) ZoneMeasures(a *zones.Analysis) []ZoneMeasure {
+	byZone := map[int]*ZoneMeasure{}
+	var order []int
+	for _, res := range r.Results {
+		zm, ok := byZone[res.Zone]
+		if !ok {
+			zm = &ZoneMeasure{Zone: res.Zone, Name: a.Zones[res.Zone].Name}
+			byZone[res.Zone] = zm
+			order = append(order, res.Zone)
+		}
+		zm.Experiments++
+		switch res.Outcome {
+		case Silent:
+			zm.Silent++
+		case DetectedSafe:
+			zm.DetSafe++
+		case DangerousDetected:
+			zm.DangerDet++
+		case DangerousUndetected:
+			zm.DangerUndet++
+		}
+		for _, oi := range res.Deviated {
+			found := false
+			for _, e := range zm.EffectObs {
+				if e == oi {
+					found = true
+				}
+			}
+			if !found {
+				zm.EffectObs = append(zm.EffectObs, oi)
+			}
+		}
+	}
+	sort.Ints(order)
+	out := make([]ZoneMeasure, 0, len(order))
+	for _, z := range order {
+		sort.Ints(byZone[z].EffectObs)
+		out = append(out, *byZone[z])
+	}
+	return out
+}
+
+// EffectCheck compares a zone's measured effect table with the
+// main/secondary effects predicted by the static analysis (Figs. 1–3).
+type EffectCheck struct {
+	Zone       int
+	Name       string
+	Consistent bool
+	// Unpredicted lists observed effects outside main ∪ secondary —
+	// each one is a new FMEA line to add (Section 5c/5d).
+	Unpredicted []int
+}
+
+// CheckEffects validates every measured effect table against the
+// predicted reachability. Only zone-failure experiments participate:
+// cone and wide/global faults probe deeper fault populations whose
+// unpredicted effects are the *output* of Sections 5c/5d (new FMEA
+// lines), not a consistency failure of the Fig. 1-3 model.
+func (r *Report) CheckEffects(a *zones.Analysis) []EffectCheck {
+	filtered := &Report{}
+	for _, res := range r.Results {
+		if res.Class == ZoneFailure {
+			filtered.Results = append(filtered.Results, res)
+		}
+	}
+	measures := filtered.ZoneMeasures(a)
+	out := make([]EffectCheck, 0, len(measures))
+	for _, zm := range measures {
+		predicted := map[int]bool{}
+		for _, o := range a.MainEffects(zm.Zone) {
+			predicted[o] = true
+		}
+		for _, o := range a.SecondaryEffects(zm.Zone) {
+			predicted[o] = true
+		}
+		ec := EffectCheck{Zone: zm.Zone, Name: zm.Name, Consistent: true}
+		for _, o := range zm.EffectObs {
+			if !predicted[o] {
+				ec.Consistent = false
+				ec.Unpredicted = append(ec.Unpredicted, o)
+			}
+		}
+		out = append(out, ec)
+	}
+	return out
+}
+
+// ValidationRow cross-checks one zone's worksheet estimates against the
+// measured values.
+type ValidationRow struct {
+	Zone    int
+	Name    string
+	EstS    float64
+	MeasS   float64
+	EstDDF  float64
+	MeasDDF float64
+	Within  bool
+	// DeltaS/DeltaDDF are estimate − measurement: positive values mean
+	// the sheet claimed more than the campaign observed.
+	DeltaS   float64
+	DeltaDDF float64
+}
+
+// ValidateWorksheet performs the Section 5a cross-check: for every zone
+// present in both the worksheet and the campaign, compare the estimated
+// safe fraction and detected-dangerous fraction with the measured ones.
+// The check is one-sided: an FMEA is built on conservative assumptions,
+// so a measurement *better* than the estimate validates it, while a
+// measurement more than `tolerance` *below* the estimate means the
+// sheet over-claimed and fails ("the validation is successful if the
+// percentages are in line with the estimated values").
+func (r *Report) ValidateWorksheet(a *zones.Analysis, w *fmea.Worksheet, tolerance float64) []ValidationRow {
+	measures := r.ZoneMeasures(a)
+	var out []ValidationRow
+	for _, zm := range measures {
+		m := w.ZoneMetrics(zm.Zone)
+		if m.Total() == 0 {
+			continue // zone not in the rate accounting
+		}
+		estS := m.LambdaS / m.Total()
+		estDDF := m.DC()
+		row := ValidationRow{
+			Zone: zm.Zone, Name: zm.Name,
+			EstS: estS, MeasS: zm.SMeasured(),
+			EstDDF: estDDF, MeasDDF: zm.DDFMeasured(),
+		}
+		row.DeltaS = row.EstS - row.MeasS
+		row.DeltaDDF = row.EstDDF - row.MeasDDF
+		row.Within = row.DeltaS <= tolerance && row.DeltaDDF <= tolerance
+		out = append(out, row)
+	}
+	return out
+}
+
+// PassFraction is the share of validation rows within tolerance.
+func PassFraction(rows []ValidationRow) float64 {
+	if len(rows) == 0 {
+		return 1
+	}
+	n := 0
+	for _, r := range rows {
+		if r.Within {
+			n++
+		}
+	}
+	return float64(n) / float64(len(rows))
+}

@@ -1,0 +1,175 @@
+// Package inject implements the paper's Fig. 4 fault-injection
+// environment used to validate the FMEA (Section 5):
+//
+//   - Environment builder — derives the injection environment (zone
+//     failure modes, observation and diagnostic points, monitors) from
+//     the zone analysis;
+//   - Operational profiler — traces fault-free per-zone activity under
+//     the workload so only non-trivial faults are generated;
+//   - Collapser and randomizer — deterministic fault-list generation;
+//   - Fault-injection manager — runs golden vs faulty simulations;
+//   - Monitors and coverage collection — SENS / OBSE / DIAG items;
+//   - Result analyzer — measured S, D and DDF per zone, effects tables,
+//     and the cross-check against the FMEA worksheet.
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/zones"
+)
+
+// Target is the device under test: the analyzed netlist and a factory
+// producing fresh simulator instances (with behavioral peripherals
+// attached and any start-up sequence already run).
+type Target struct {
+	Analysis *zones.Analysis
+	// NewInstance returns a ready simulator; called once for the golden
+	// run and once per injection.
+	NewInstance func() (*sim.Simulator, error)
+}
+
+// obsTrace is the recorded (value, xmask) stream of one observation
+// point.
+type obsTrace struct {
+	val []uint64
+	x   []uint64
+}
+
+// Golden is the fault-free reference run: observation-point traces and
+// the operational profile.
+type Golden struct {
+	Trace *workload.Trace
+	a     *zones.Analysis
+	// obs[i] follows Analysis.Obs[i].
+	obs []obsTrace
+	// zoneVals[z][c] is a fold of zone z's output nets at cycle c.
+	zoneVals [][]uint64
+	// Activity[z] lists cycles where zone z's outputs changed — the
+	// operational profile ("traced read/write activity").
+	Activity [][]int
+}
+
+// RunGolden performs the fault-free reference simulation, recording
+// observation traces and the operational profile.
+func (t *Target) RunGolden(tr *workload.Trace) (*Golden, error) {
+	s, err := t.NewInstance()
+	if err != nil {
+		return nil, err
+	}
+	a := t.Analysis
+	g := &Golden{
+		Trace:    tr,
+		a:        a,
+		obs:      make([]obsTrace, len(a.Obs)),
+		zoneVals: make([][]uint64, len(a.Zones)),
+		Activity: make([][]int, len(a.Zones)),
+	}
+	for zi := range a.Zones {
+		g.zoneVals[zi] = make([]uint64, tr.Cycles())
+	}
+	for c := 0; c < tr.Cycles(); c++ {
+		tr.ApplyTo(s, c)
+		s.Eval()
+		s.Step()
+		for oi := range a.Obs {
+			v, x := s.ReadBusX(a.Obs[oi].Nets)
+			g.obs[oi].val = append(g.obs[oi].val, v)
+			g.obs[oi].x = append(g.obs[oi].x, x)
+		}
+		for zi := range a.Zones {
+			g.zoneVals[zi][c] = foldNets(s, a.EffectNets(zi))
+		}
+	}
+	for zi := range a.Zones {
+		prev := uint64(0)
+		for c, v := range g.zoneVals[zi] {
+			if c == 0 || v != prev {
+				g.Activity[zi] = append(g.Activity[zi], c)
+			}
+			prev = v
+		}
+	}
+	return g, nil
+}
+
+// foldNets hashes a net set's values (with X distinguished) into one
+// word, mixing position so wide buses don't alias.
+func foldNets(s *sim.Simulator, nets []netlist.NetID) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset
+	for _, id := range nets {
+		h = (h ^ uint64(s.Net(id))) * 1099511628211
+	}
+	return h
+}
+
+// CompletenessOK reports whether the workload triggered every sensible
+// zone at least twice (initial value + one change) — the deterministic
+// workload-completeness check of Section 4. Zones whose effects reach
+// only diagnostic observation points (alarm registers, error logs and
+// the alarm output ports themselves) are exempt: by construction they
+// stay quiet in a fault-free run.
+func (g *Golden) CompletenessOK() (ok bool, inactive []int) {
+	for zi, act := range g.Activity {
+		if g.pureDiagnostic(zi) {
+			continue
+		}
+		if len(act) < 2 {
+			inactive = append(inactive, zi)
+		}
+	}
+	return len(inactive) == 0, inactive
+}
+
+// pureDiagnostic reports whether every effect of the zone lands on a
+// diagnostic observation point.
+func (g *Golden) pureDiagnostic(zi int) bool {
+	effects := append([]int{}, g.a.MainEffects(zi)...)
+	effects = append(effects, g.a.SecondaryEffects(zi)...)
+	if len(effects) == 0 {
+		return true // unobservable zone; nothing a workload could show
+	}
+	for _, oi := range effects {
+		if g.a.Obs[oi].Kind != zones.Diagnostic {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpClass distinguishes the three experiment families of Section 5.
+type ExpClass uint8
+
+// ZoneFailure experiments inject the zone's failure modes at its
+// boundary (Section 5a — these validate the Fig. 1–3 effect model).
+// ConeFault experiments inject physical faults inside a fan-in cone
+// (Section 5c selective injection). WideFault experiments target gates
+// shared between cones (Section 5d).
+const (
+	ZoneFailure ExpClass = iota
+	ConeFault
+	WideFault
+)
+
+// Injection is one planned experiment: a fault applied to a zone at a
+// chosen cycle, optionally released after Duration cycles (0 = stays
+// until the end — a permanent fault).
+type Injection struct {
+	Zone     int
+	Fault    faults.Fault
+	Cycle    int
+	Duration int
+	Class    ExpClass
+	// Mode labels the zone failure mode this experiment exercises.
+	Mode string
+}
+
+// Describe renders the injection.
+func (in Injection) Describe(a *zones.Analysis) string {
+	return fmt.Sprintf("zone %q %s at cycle %d (dur %d)",
+		a.Zones[in.Zone].Name, in.Fault.Describe(a.N), in.Cycle, in.Duration)
+}

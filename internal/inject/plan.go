@@ -1,0 +1,215 @@
+package inject
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/xrand"
+	"repro/internal/zones"
+)
+
+// PlanConfig tunes fault-list generation.
+type PlanConfig struct {
+	// TransientPerZone transient (bit-flip) experiments per zone.
+	TransientPerZone int
+	// PermanentPerZone stuck-at experiments per zone.
+	PermanentPerZone int
+	// Seed drives the deterministic randomizer.
+	Seed uint64
+	// SkipZones names zones to exclude (e.g. raw input-port zones when a
+	// separate protocol-level campaign covers them).
+	SkipZones map[string]bool
+}
+
+// DefaultPlanConfig mirrors the validation flow defaults.
+func DefaultPlanConfig() PlanConfig {
+	return PlanConfig{TransientPerZone: 4, PermanentPerZone: 2, Seed: 1}
+}
+
+// BuildPlan is the collapser + randomizer: for every sensible zone it
+// generates failure-mode experiments, picking injection instants from
+// the zone's operational profile so each fault lands when the zone is
+// active (non-trivial faults only, the paper's OP-guided compaction).
+func BuildPlan(a *zones.Analysis, g *Golden, cfg PlanConfig) []Injection {
+	rng := xrand.New(cfg.Seed)
+	var plan []Injection
+	horizon := g.Trace.Cycles()
+	pickCycle := func(zi int) int {
+		act := g.Activity[zi]
+		if len(act) == 0 {
+			return rng.Intn(maxInt(1, horizon-1))
+		}
+		// Inject shortly after an activity instant.
+		c := act[rng.Intn(len(act))]
+		if c >= horizon-1 {
+			c = horizon - 2
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for zi := range a.Zones {
+		z := &a.Zones[zi]
+		if cfg.SkipZones[z.Name] {
+			continue
+		}
+		switch z.Kind {
+		case zones.Register:
+			for k := 0; k < cfg.TransientPerZone; k++ {
+				ff := z.FFs[rng.Intn(len(z.FFs))]
+				plan = append(plan, Injection{
+					Zone: zi, Fault: faults.FFFlip(ff), Cycle: pickCycle(zi),
+					Duration: 0, Mode: "transient bit-flip",
+				})
+			}
+			for k := 0; k < cfg.PermanentPerZone; k++ {
+				ff := z.FFs[rng.Intn(len(z.FFs))]
+				plan = append(plan, Injection{
+					Zone: zi, Fault: faults.NetSA(a.N.FFs[ff].Q, rng.Bool()),
+					Cycle: pickCycle(zi), Duration: 0, Mode: "register stuck-at",
+				})
+			}
+		case zones.Input, zones.Peripheral:
+			// Failures appear on the zone's boundary nets.
+			for k := 0; k < cfg.TransientPerZone; k++ {
+				net := z.Outputs[rng.Intn(len(z.Outputs))]
+				plan = append(plan, Injection{
+					Zone: zi, Fault: flipNet(net, rng), Cycle: pickCycle(zi),
+					Duration: 1, Mode: "transient boundary flip",
+				})
+			}
+			for k := 0; k < cfg.PermanentPerZone; k++ {
+				net := z.Outputs[rng.Intn(len(z.Outputs))]
+				plan = append(plan, Injection{
+					Zone: zi, Fault: faults.NetSA(net, rng.Bool()),
+					Cycle: pickCycle(zi), Duration: 0, Mode: "boundary stuck-at",
+				})
+			}
+		case zones.Output, zones.SubBlock:
+			// Faults inside the zone's fan-in cone (falling back to the
+			// seed nets for gate-free cones).
+			coneNet := func() netlist.NetID {
+				cone := a.Cones[zi].Gates
+				if len(cone) == 0 {
+					return z.Seeds[rng.Intn(len(z.Seeds))]
+				}
+				return a.N.Gates[cone[rng.Intn(len(cone))]].Output
+			}
+			for k := 0; k < cfg.PermanentPerZone; k++ {
+				plan = append(plan, Injection{
+					Zone: zi, Fault: faults.NetSA(coneNet(), rng.Bool()),
+					Cycle: pickCycle(zi), Duration: 0, Class: ConeFault, Mode: "cone stuck-at",
+				})
+			}
+			for k := 0; k < cfg.TransientPerZone; k++ {
+				plan = append(plan, Injection{
+					Zone: zi, Fault: flipNet(coneNet(), rng), Cycle: pickCycle(zi),
+					Duration: 1, Class: ConeFault, Mode: "cone glitch",
+				})
+			}
+		case zones.CriticalNet:
+			net := z.Outputs[0]
+			plan = append(plan, Injection{
+				Zone: zi, Fault: faults.NetSA(net, false), Cycle: pickCycle(zi),
+				Duration: 0, Mode: "critical net stuck-0",
+			})
+			plan = append(plan, Injection{
+				Zone: zi, Fault: faults.NetSA(net, true), Cycle: pickCycle(zi),
+				Duration: 0, Mode: "critical net stuck-1",
+			})
+			plan = append(plan, Injection{
+				Zone: zi, Fault: faults.NetDelay(net), Cycle: pickCycle(zi),
+				Duration: 2, Mode: "critical net delay",
+			})
+		}
+	}
+	return plan
+}
+
+// flipNet returns a one-shot inversion of a boundary net modeled as a
+// stuck-at of the opposite polarity held for the injection duration;
+// the runner resolves the polarity against the golden value at the
+// injection cycle, so here we just pick one randomly (it flips with
+// probability ~0.5 and the SENS monitor confirms actual perturbation).
+func flipNet(net netlist.NetID, rng *xrand.RNG) faults.Fault {
+	return faults.NetSA(net, rng.Bool())
+}
+
+// WidePlan generates the Section 5d selective wide/global experiments:
+// stuck-ats and delay faults on gates shared by several zone cones
+// (wide) and on the highest-touch gates (global candidates).
+func WidePlan(a *zones.Analysis, g *Golden, count int, seed uint64) []Injection {
+	rng := xrand.New(seed)
+	type cand struct {
+		gate  netlist.GateID
+		touch int
+	}
+	var cands []cand
+	for gi := range a.N.Gates {
+		if t := a.GateTouch(netlist.GateID(gi)); t >= 2 {
+			cands = append(cands, cand{netlist.GateID(gi), t})
+		}
+	}
+	var plan []Injection
+	if len(cands) == 0 {
+		return plan
+	}
+	// Highest-touch gates are the global sites (clock-tree-like control
+	// sharing, often architecturally masked); moderately shared gates
+	// are datapath cones feeding several zones — the Fig. 2 multiple-
+	// failure candidates. Sample both populations, and inject both
+	// stuck-at polarities per site so a fault is not trivially masked by
+	// the quiescent value.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].touch != cands[j].touch {
+			return cands[i].touch > cands[j].touch
+		}
+		return cands[i].gate < cands[j].gate
+	})
+	horizon := g.Trace.Cycles()
+	for k := 0; k < count; k++ {
+		var c cand
+		if k%2 == 0 {
+			c = cands[rng.Intn(len(cands))] // uniform over wide sites
+		} else {
+			c = cands[(k/2)%len(cands)] // top-touch (global) sites
+		}
+		out := a.N.Gates[c.gate].Output
+		zone := zoneOwningGate(a, c.gate)
+		mode := "wide stuck-at"
+		if a.ClassifyGate(c.gate, 0.25) == faults.Global {
+			mode = "global stuck-at"
+		}
+		// Permanent faults are armed early so the whole workload runs on
+		// the faulty circuit.
+		cycle := rng.Intn(maxInt(1, horizon/4))
+		for _, v := range []bool{false, true} {
+			plan = append(plan, Injection{
+				Zone: zone, Fault: faults.NetSA(out, v),
+				Cycle: cycle, Duration: 0, Class: WideFault, Mode: mode,
+			})
+		}
+	}
+	return plan
+}
+
+// zoneOwningGate returns the first zone whose cone contains the gate.
+func zoneOwningGate(a *zones.Analysis, g netlist.GateID) int {
+	for zi := range a.Zones {
+		for _, cg := range a.Cones[zi].Gates {
+			if cg == g {
+				return zi
+			}
+		}
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package inject
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/zones"
+)
+
+// Outcome classifies one injection experiment against the golden run.
+type Outcome uint8
+
+// Outcomes. Silent faults never reach an observation point (masked —
+// not a hazard per Section 3). DetectedSafe faults raise a diagnostic
+// alarm without functional deviation. DangerousDetected corrupt a
+// functional output with the alarm raised; DangerousUndetected corrupt
+// it silently — the λDU contributors.
+const (
+	Silent Outcome = iota
+	DetectedSafe
+	DangerousDetected
+	DangerousUndetected
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Silent:
+		return "silent"
+	case DetectedSafe:
+		return "detected-safe"
+	case DangerousDetected:
+		return "dangerous-detected"
+	default:
+		return "dangerous-undetected"
+	}
+}
+
+// ExpResult is the outcome of one injection experiment.
+type ExpResult struct {
+	Injection
+	Outcome Outcome
+	// Sens reports whether the injection actually perturbed the zone
+	// (the SENS monitor).
+	Sens bool
+	// Deviated lists observation points that differed from golden.
+	Deviated []int
+	// FirstDevCycle is the earliest deviation cycle (-1 when none).
+	FirstDevCycle int
+}
+
+// Coverage aggregates the campaign-completeness monitors: an item set is
+// complete when every member was exercised at least once.
+type Coverage struct {
+	// SensZones[z] = true when some injection perturbed zone z.
+	SensZones []bool
+	// ObseSeen[o] = true when observation point o deviated at least once.
+	ObseSeen []bool
+	// DiagSeen[o] = true when diagnostic point o fired at least once.
+	DiagSeen []bool
+	// Mismatches counts golden-vs-faulty output mismatches seen.
+	Mismatches int
+}
+
+// Item completion fractions; the experiment is complete only at 100 %.
+func (c Coverage) SensFrac() float64 { return frac(c.SensZones) }
+
+// ObseFrac is the fraction of functional observation items covered.
+func (c Coverage) ObseFrac() float64 { return frac(c.ObseSeen) }
+
+// DiagFrac is the fraction of diagnostic items covered.
+func (c Coverage) DiagFrac() float64 { return frac(c.DiagSeen) }
+
+// Complete reports whether every coverage item was exercised.
+func (c Coverage) Complete() bool {
+	return c.SensFrac() == 1 && c.ObseFrac() == 1 && c.DiagFrac() == 1
+}
+
+func frac(b []bool) float64 {
+	if len(b) == 0 {
+		return 1
+	}
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b))
+}
+
+// Report is the full campaign result.
+type Report struct {
+	Results  []ExpResult
+	Coverage Coverage
+}
+
+// Run executes the injection campaign: one golden-aligned faulty
+// simulation per planned injection, with the SENS/OBSE/DIAG monitors
+// and coverage collection of Fig. 4.
+func (t *Target) Run(g *Golden, plan []Injection) (*Report, error) {
+	a := t.Analysis
+	rep := &Report{}
+	rep.Coverage.SensZones = make([]bool, len(a.Zones))
+	funcIdx, diagIdx := []int{}, []int{}
+	for oi := range a.Obs {
+		if a.Obs[oi].Kind == zones.Diagnostic {
+			diagIdx = append(diagIdx, oi)
+		} else {
+			funcIdx = append(funcIdx, oi)
+		}
+	}
+	rep.Coverage.ObseSeen = make([]bool, len(funcIdx))
+	rep.Coverage.DiagSeen = make([]bool, len(diagIdx))
+
+	for _, inj := range plan {
+		res, err := t.runOne(g, inj)
+		if err != nil {
+			return nil, fmt.Errorf("inject: %s: %w", inj.Describe(a), err)
+		}
+		rep.Results = append(rep.Results, res)
+		if res.Sens {
+			rep.Coverage.SensZones[inj.Zone] = true
+		}
+		for _, oi := range res.Deviated {
+			rep.Coverage.Mismatches++
+			for fi, idx := range funcIdx {
+				if idx == oi {
+					rep.Coverage.ObseSeen[fi] = true
+				}
+			}
+			for di, idx := range diagIdx {
+				if idx == oi {
+					rep.Coverage.DiagSeen[di] = true
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RunOne executes a single injection experiment against the golden
+// traces (the mission-simulation entry point).
+func (t *Target) RunOne(g *Golden, inj Injection) (ExpResult, error) {
+	return t.runOne(g, inj)
+}
+
+// runOne executes one faulty simulation against the golden traces.
+func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
+	a := t.Analysis
+	s, err := t.NewInstance()
+	if err != nil {
+		return ExpResult{}, err
+	}
+	res := ExpResult{Injection: inj, FirstDevCycle: -1}
+	deviated := map[int]bool{}
+	funcDev, diagDev := false, false
+	tr := g.Trace
+	for c := 0; c < tr.Cycles(); c++ {
+		tr.ApplyTo(s, c)
+		s.Eval()
+		s.Step()
+		// Faults are applied after the clock edge: an SEU corrupts the
+		// state that was just latched; a stuck-at becomes visible from
+		// this cycle's settled values onward.
+		if c == inj.Cycle {
+			inj.Fault.Apply(s)
+		}
+		if inj.Duration > 0 && c == inj.Cycle+inj.Duration {
+			inj.Fault.Remove(s)
+		}
+		// Monitors.
+		if c >= inj.Cycle {
+			if !res.Sens {
+				if foldNets(s, a.EffectNets(inj.Zone)) != g.zoneVals[inj.Zone][c] {
+					res.Sens = true
+				}
+			}
+			for oi := range a.Obs {
+				v, x := s.ReadBusX(a.Obs[oi].Nets)
+				if v != g.obs[oi].val[c] || x != g.obs[oi].x[c] {
+					if !deviated[oi] {
+						deviated[oi] = true
+						res.Deviated = append(res.Deviated, oi)
+					}
+					if res.FirstDevCycle < 0 {
+						res.FirstDevCycle = c
+					}
+					if a.Obs[oi].Kind == zones.Diagnostic {
+						diagDev = true
+					} else {
+						funcDev = true
+					}
+				}
+			}
+		}
+	}
+	switch {
+	case funcDev && diagDev:
+		res.Outcome = DangerousDetected
+	case funcDev:
+		res.Outcome = DangerousUndetected
+	case diagDev:
+		res.Outcome = DetectedSafe
+	default:
+		res.Outcome = Silent
+	}
+	// A flip injection applies to FF state directly; SENS is implied.
+	if inj.Fault.Kind == faults.Flip {
+		res.Sens = true
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package inject
+
+import (
+	"io"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ToggleCoverage measures the workload-efficiency metric of Section 5b
+// on the full DUT (including behavioral peripherals, which the
+// bit-parallel fault simulator cannot host): the fraction of nets the
+// workload drove to both logic levels.
+func (t *Target) ToggleCoverage(tr *workload.Trace) (faultsim.ToggleReport, error) {
+	s, err := t.NewInstance()
+	if err != nil {
+		return faultsim.ToggleReport{}, err
+	}
+	n := t.Analysis.N
+	seen0 := make([]bool, len(n.Nets))
+	seen1 := make([]bool, len(n.Nets))
+	record := func() {
+		for id := range n.Nets {
+			switch s.Net(netlist.NetID(id)) {
+			case sim.V0:
+				seen0[id] = true
+			case sim.V1:
+				seen1[id] = true
+			}
+		}
+	}
+	record()
+	for c := 0; c < tr.Cycles(); c++ {
+		tr.ApplyTo(s, c)
+		s.Eval()
+		s.Step()
+		record()
+	}
+	rep := faultsim.ToggleReport{}
+	for id := range n.Nets {
+		nid := netlist.NetID(id)
+		if _, isConst := n.IsConst(nid); isConst {
+			continue
+		}
+		if !n.IsDriven(nid) {
+			continue // orphaned by pruning; no silicon behind it
+		}
+		rep.Eligible++
+		if seen0[id] && seen1[id] {
+			rep.Covered++
+		} else {
+			rep.Untoggled = append(rep.Untoggled, nid)
+		}
+	}
+	return rep, nil
+}
+
+// RecordVCD replays the workload (golden when inj is nil, faulty
+// otherwise) and streams a waveform of all ports and register outputs —
+// the debugging view of what an injected fault actually did.
+func (t *Target) RecordVCD(g *Golden, inj *Injection, w io.Writer) error {
+	s, err := t.NewInstance()
+	if err != nil {
+		return err
+	}
+	rec := sim.NewVCDRecorder(s, w, nil)
+	tr := g.Trace
+	for c := 0; c < tr.Cycles(); c++ {
+		tr.ApplyTo(s, c)
+		s.Eval()
+		s.Step()
+		if inj != nil {
+			if c == inj.Cycle {
+				inj.Fault.Apply(s)
+			}
+			if inj.Duration > 0 && c == inj.Cycle+inj.Duration {
+				inj.Fault.Remove(s)
+			}
+		}
+		rec.Sample()
+	}
+	return rec.Close()
+}
+
+// AdjustedToggle recomputes the toggle coverage with diagnostic-only
+// logic excluded from the eligible set: redundancy comparators and alarm
+// conditioning cannot change in a fault-free run by construction (their
+// coverage is credited by fault injection instead, Section 5c). It
+// returns the adjusted coverage and the number of excluded nets.
+func (t *Target) AdjustedToggle(rep faultsim.ToggleReport) (float64, int) {
+	reach := t.Analysis.FunctionalReachNets()
+	excluded := 0
+	for _, id := range rep.Untoggled {
+		if !reach[id] {
+			excluded++
+		}
+	}
+	eligible := rep.Eligible - excluded
+	if eligible <= 0 {
+		return 1, excluded
+	}
+	return float64(rep.Covered) / float64(eligible), excluded
+}

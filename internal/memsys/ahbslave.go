@@ -1,0 +1,58 @@
+package memsys
+
+import (
+	"repro/internal/ahb"
+	"repro/internal/workload"
+)
+
+// AHBSlave exposes a running memory sub-system as an AHB-lite slave:
+// bus transfers become cycle-accurate port operations on the gate-level
+// DUT, HPROT.Privileged drives the MPU attribute, and MPU violations or
+// unacknowledged reads terminate with ERROR — the paper's "MCE uses
+// signals from the bus to discriminate these attributes and permissions
+// and in case of faults, proper alarms are generated".
+type AHBSlave struct {
+	Sess *Session
+}
+
+// NewAHBSlave builds a design instance and boots it (BIST) behind the
+// bus interface.
+func NewAHBSlave(d *Design) (*AHBSlave, error) {
+	sess, err := NewSession(d)
+	if err != nil {
+		return nil, err
+	}
+	return &AHBSlave{Sess: sess}, nil
+}
+
+// Access implements ahb.Slave with word addressing (HADDR>>2).
+func (s *AHBSlave) Access(t ahb.Transfer) ahb.Result {
+	wordAddr := t.Addr >> 2
+	words := uint64(1) << uint(s.Sess.D.Cfg.AddrWidth)
+	if wordAddr >= words {
+		return ahb.Result{Resp: ahb.RespERROR}
+	}
+	op := workload.MemOp{Addr: wordAddr}
+	if t.Write {
+		op.Kind = workload.OpWrite
+		op.Data = t.Data
+	} else {
+		op.Kind = workload.OpRead
+	}
+	res := s.Sess.DoPriv(op, t.Prot.Privileged)
+	if res.Alarms["alarm_mpu"] {
+		return ahb.Result{Resp: ahb.RespERROR}
+	}
+	if !t.Write {
+		if !res.Acked {
+			return ahb.Result{Resp: ahb.RespERROR}
+		}
+		out := ahb.Result{Resp: ahb.RespOKAY, Data: res.Data, Waits: OpGap}
+		if res.Alarms["alarm_uncorr"] {
+			// An uncorrectable word must not reach the application.
+			out.Resp = ahb.RespERROR
+		}
+		return out
+	}
+	return ahb.Result{Resp: ahb.RespOKAY, Waits: 1}
+}

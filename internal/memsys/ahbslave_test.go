@@ -1,0 +1,112 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/ahb"
+)
+
+func newMatrixWithDUT(t *testing.T) (*ahb.Matrix, *AHBSlave) {
+	t.Helper()
+	d, err := Build(smallV2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slave, err := NewAHBSlave(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ahb.NewMatrix()
+	// Protected memory at 0x4000_0000, scratch RAM at 0x2000_0000 —
+	// the "mix of commodity and safety functions" of the introduction.
+	if err := m.Map("safe_mem", 0x40000000, 4*32, slave); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map("scratch", 0x20000000, 4*64, ahb.NewRAMSlave(64)); err != nil {
+		t.Fatal(err)
+	}
+	return m, slave
+}
+
+func TestAHBSlaveReadWrite(t *testing.T) {
+	m, _ := newMatrixWithDUT(t)
+	wr := m.Issue(ahb.Transfer{
+		Addr: 0x40000000 + 4*5, Write: true, Data: 0xCAFE_F00D, Size: 4,
+		Prot: ahb.Prot{Privileged: true, DataAccess: true},
+	})
+	if wr.Resp != ahb.RespOKAY {
+		t.Fatalf("write resp = %v", wr.Resp)
+	}
+	rd := m.Issue(ahb.Transfer{
+		Addr: 0x40000000 + 4*5, Size: 4,
+		Prot: ahb.Prot{Privileged: true, DataAccess: true},
+	})
+	if rd.Resp != ahb.RespOKAY || rd.Data != 0xCAFE_F00D {
+		t.Fatalf("read = %+v", rd)
+	}
+}
+
+func TestAHBSlaveMPUViolation(t *testing.T) {
+	m, _ := newMatrixWithDUT(t)
+	// Page 7 of the 32-word space = addresses 28..31; word 30.
+	addr := uint64(0x40000000 + 4*30)
+	// Privileged write succeeds.
+	if r := m.Issue(ahb.Transfer{Addr: addr, Write: true, Data: 7, Prot: ahb.Prot{Privileged: true}}); r.Resp != ahb.RespOKAY {
+		t.Fatalf("privileged write: %v", r.Resp)
+	}
+	// User-mode read ERRORs.
+	if r := m.Issue(ahb.Transfer{Addr: addr, Prot: ahb.Prot{Privileged: false}}); r.Resp != ahb.RespERROR {
+		t.Error("user access to privileged page did not ERROR")
+	}
+	if m.Errors() == 0 {
+		t.Error("matrix error counter not incremented")
+	}
+}
+
+func TestAHBSlaveUncorrectableErrors(t *testing.T) {
+	m, slave := newMatrixWithDUT(t)
+	addr := uint64(0x40000000 + 4*9)
+	m.Issue(ahb.Transfer{Addr: addr, Write: true, Data: 0x1234, Prot: ahb.Prot{Privileged: true}})
+	// Double-bit corruption in the array: the read must come back ERROR.
+	slave.Sess.Arr.Inject(ArrayFault{Kind: SoftError, A: 9, Bit: 0})
+	slave.Sess.Arr.Inject(ArrayFault{Kind: SoftError, A: 9, Bit: 5})
+	r := m.Issue(ahb.Transfer{Addr: addr, Prot: ahb.Prot{Privileged: true}})
+	if r.Resp != ahb.RespERROR {
+		t.Errorf("uncorrectable read returned %v with data %#x", r.Resp, r.Data)
+	}
+	// A single-bit corruption is transparent (corrected).
+	addr2 := uint64(0x40000000 + 4*11)
+	m.Issue(ahb.Transfer{Addr: addr2, Write: true, Data: 0xBEEF, Prot: ahb.Prot{Privileged: true}})
+	slave.Sess.Arr.Inject(ArrayFault{Kind: SoftError, A: 11, Bit: 3})
+	r = m.Issue(ahb.Transfer{Addr: addr2, Prot: ahb.Prot{Privileged: true}})
+	if r.Resp != ahb.RespOKAY || r.Data != 0xBEEF {
+		t.Errorf("corrected read = %+v, want OKAY 0xbeef", r)
+	}
+}
+
+func TestAHBSlaveOutOfRange(t *testing.T) {
+	_, slave := newMatrixWithDUT(t)
+	r := slave.Access(ahb.Transfer{Addr: 4 * 1000, Prot: ahb.Prot{Privileged: true}})
+	if r.Resp != ahb.RespERROR {
+		t.Error("out-of-range access did not ERROR")
+	}
+}
+
+func TestAHBMixedTraffic(t *testing.T) {
+	m, _ := newMatrixWithDUT(t)
+	// Two masters, one on the safety memory, one on the scratch RAM:
+	// multilayer keeps them parallel (no waits on the scratch path).
+	rs := m.IssueAll([]ahb.Transfer{
+		{Master: 0, Addr: 0x40000000, Write: true, Data: 1, Prot: ahb.Prot{Privileged: true}},
+		{Master: 1, Addr: 0x20000000, Write: true, Data: 2},
+	})
+	if rs[0].Resp != ahb.RespOKAY || rs[1].Resp != ahb.RespOKAY {
+		t.Fatalf("mixed traffic: %+v", rs)
+	}
+	if rs[1].Waits != 0 {
+		t.Error("scratch access waited despite multilayer")
+	}
+	if m.TransferCount("safe_mem") != 1 || m.TransferCount("scratch") != 1 {
+		t.Error("transfer accounting wrong")
+	}
+}

@@ -1,0 +1,166 @@
+package memsys
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OpGap is the idle spacing the driver leaves between operations so the
+// write buffer drains and the two-stage read pipeline returns before the
+// next access (the paper's circuit trades this latency for timing
+// closure).
+const OpGap = 3
+
+// AccessResult is the observed outcome of one operation.
+type AccessResult struct {
+	Op     workload.MemOp
+	Data   uint64 // read data (reads only)
+	Acked  bool
+	Alarms map[string]bool // alarm ports that fired during the op window
+}
+
+// Session drives a built design cycle-accurately.
+type Session struct {
+	D   *Design
+	Sim *sim.Simulator
+	Arr *Array
+
+	alarmPorts []string
+	// AlarmCounts accumulates alarm assertions per port across the
+	// session (one count per cycle asserted).
+	AlarmCounts map[string]int
+}
+
+// NewSession builds a simulator around the design and runs it until the
+// BIST releases the bus (ready=1).
+func NewSession(d *Design) (*Session, error) {
+	s, arr, err := d.NewSimulator()
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{D: d, Sim: s, Arr: arr, alarmPorts: d.AlarmPorts(), AlarmCounts: map[string]int{}}
+	sess.idleInputs()
+	s.Eval()
+	// Let the BIST run (bounded wait).
+	for i := 0; i < 64; i++ {
+		if v, _ := s.ReadOutput("ready"); v == 1 {
+			break
+		}
+		sess.step()
+	}
+	return sess, nil
+}
+
+func (s *Session) idleInputs() {
+	s.Sim.SetInput("req", 0)
+	s.Sim.SetInput("we", 0)
+	s.Sim.SetInput("addr", 0)
+	s.Sim.SetInput("wdata", 0)
+	s.Sim.SetInput("priv", 1)
+	if s.D.Cfg.MPU {
+		s.Sim.SetInput("mpu_cfg", 0)
+		s.Sim.SetInput("cfg_we", 0)
+	}
+}
+
+// step advances one cycle, accumulating alarm counts.
+func (s *Session) step() {
+	s.Sim.Step()
+	for _, p := range s.alarmPorts {
+		if v, _ := s.Sim.ReadOutput(p); v == 1 {
+			s.AlarmCounts[p]++
+		}
+	}
+}
+
+// Idle runs n idle cycles (letting the scrubber work).
+func (s *Session) Idle(n int) {
+	s.idleInputs()
+	s.Sim.Eval()
+	for i := 0; i < n; i++ {
+		s.step()
+	}
+}
+
+// Do performs one memory operation with privileged attribute and returns
+// the observed result. Reads report the decoded data returned when ack
+// rose within the operation window.
+func (s *Session) Do(op workload.MemOp) AccessResult {
+	return s.DoPriv(op, true)
+}
+
+// DoPriv performs one operation with an explicit privilege attribute.
+func (s *Session) DoPriv(op workload.MemOp, privileged bool) AccessResult {
+	res := AccessResult{Op: op, Alarms: map[string]bool{}}
+	priv := uint64(0)
+	if privileged {
+		priv = 1
+	}
+	switch op.Kind {
+	case workload.OpIdle:
+		s.idleInputs()
+	default:
+		s.Sim.SetInput("req", 1)
+		s.Sim.SetInput("addr", op.Addr)
+		s.Sim.SetInput("priv", priv)
+		if op.Kind == workload.OpWrite {
+			s.Sim.SetInput("we", 1)
+			s.Sim.SetInput("wdata", op.Data)
+		} else {
+			s.Sim.SetInput("we", 0)
+			s.Sim.SetInput("wdata", 0)
+		}
+	}
+	s.Sim.Eval()
+	for c := 0; c <= OpGap; c++ {
+		s.step()
+		if c == 0 {
+			s.idleInputs()
+			s.Sim.Eval()
+		}
+		for _, p := range s.alarmPorts {
+			if v, _ := s.Sim.ReadOutput(p); v == 1 {
+				res.Alarms[p] = true
+			}
+		}
+		if ack, _ := s.Sim.ReadOutput("ack"); ack == 1 && !res.Acked {
+			res.Acked = true
+			res.Data, _ = s.Sim.ReadOutput("rdata")
+		}
+	}
+	return res
+}
+
+// Run performs a whole operation sequence and returns per-op results.
+func (s *Session) Run(ops []workload.MemOp) []AccessResult {
+	out := make([]AccessResult, len(ops))
+	for i, op := range ops {
+		out[i] = s.Do(op)
+	}
+	return out
+}
+
+// RefModel is the behavioral golden model of the sub-system's functional
+// contract: writes store, reads return the last written word (zero for
+// never-written addresses).
+type RefModel struct {
+	mem  map[uint64]uint64
+	mask uint64
+}
+
+// NewRefModel creates a reference for the given data width.
+func NewRefModel(dataWidth int) *RefModel {
+	return &RefModel{mem: map[uint64]uint64{}, mask: 1<<uint(dataWidth) - 1}
+}
+
+// Apply processes one op and returns the expected read data (reads).
+func (r *RefModel) Apply(op workload.MemOp) (data uint64, isRead bool) {
+	switch op.Kind {
+	case workload.OpWrite:
+		r.mem[op.Addr] = op.Data & r.mask
+		return 0, false
+	case workload.OpRead:
+		return r.mem[op.Addr], true
+	}
+	return 0, false
+}

@@ -1,0 +1,122 @@
+package memsys
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/rtl"
+)
+
+// BuildEncoder emits the gate-level encoder: one XOR tree per check bit
+// over the protected bits selected by its H-matrix row. data (and addr,
+// when the code folds addresses) are existing buses; the returned bus
+// carries the check bits. Each call emits fresh gates, so instantiating
+// it twice yields a true duplicated coder.
+func (c *Codec) BuildEncoder(m *rtl.Module, data, addr rtl.Bus) rtl.Bus {
+	if len(data) != c.DataWidth {
+		panic("memsys: encoder data width mismatch")
+	}
+	if c.AddrWidth > 0 && len(addr) < c.AddrWidth {
+		panic("memsys: encoder addr width mismatch")
+	}
+	check := make(rtl.Bus, c.CheckWidth)
+	for bit := 0; bit < c.CheckWidth; bit++ {
+		var taps rtl.Bus
+		for i := 0; i < c.DataWidth; i++ {
+			if c.cols[i]>>uint(bit)&1 == 1 {
+				taps = append(taps, data[i])
+			}
+		}
+		for i := 0; i < c.AddrWidth; i++ {
+			if c.cols[c.DataWidth+i]>>uint(bit)&1 == 1 {
+				taps = append(taps, addr[i])
+			}
+		}
+		check[bit] = m.ReduceXor(taps)
+	}
+	return check
+}
+
+// SyndromeBus emits the syndrome computation: recomputed check bits over
+// the read data (and expected address) XORed with the stored check bits.
+func (c *Codec) SyndromeBus(m *rtl.Module, data, addr, check rtl.Bus) rtl.Bus {
+	re := c.BuildEncoder(m, data, addr)
+	return m.Xor(re, check)
+}
+
+// DecoderOut groups the nets produced by the gate-level decoder.
+type DecoderOut struct {
+	Data   rtl.Bus       // corrected data
+	Single netlist.NetID // single (correctable) error
+	Double netlist.NetID // uncorrectable error
+	// Distributed syndrome discrimination (distributed syndrome checking
+	// measure): which field the single error sits in.
+	InData  netlist.NetID
+	InCheck netlist.NetID
+	InAddr  netlist.NetID
+	Syn     rtl.Bus
+}
+
+// BuildDecoder emits the gate-level SEC-DED decoder: syndrome trees,
+// column-match correction, odd/even classification and — when
+// distributed is true — the per-field syndrome discrimination of the
+// paper's measure (iii). bypass selects the measure-(ii) behavior of
+// muxing the raw data through when the syndrome is zero.
+func (c *Codec) BuildDecoder(m *rtl.Module, data, addr, check rtl.Bus, distributed, bypass bool) DecoderOut {
+	syn := c.SyndromeBus(m, data, addr, check)
+	nonzero := m.ReduceOr(syn)
+	odd := m.ReduceXor(syn)
+	single := m.AndBit(nonzero, odd)
+	even := m.NotBit(odd)
+	double := m.AndBit(nonzero, even)
+
+	out := DecoderOut{Syn: syn, Single: single, Double: double}
+	// Column matches for data bits drive the correcting XORs.
+	matches := make(rtl.Bus, c.DataWidth)
+	corrected := make(rtl.Bus, c.DataWidth)
+	for i := 0; i < c.DataWidth; i++ {
+		matches[i] = matchColumn(m, syn, c.cols[i])
+		corrected[i] = m.XorBit(data[i], matches[i])
+	}
+	if bypass {
+		// "in case of no errors directly connect the decoder output with
+		// the memory data"
+		out.Data = m.Mux(nonzero, data, corrected)
+	} else {
+		out.Data = corrected
+	}
+	if distributed {
+		out.InData = m.ReduceOr(matches)
+		var checkMatches rtl.Bus
+		for bit := 0; bit < c.CheckWidth; bit++ {
+			checkMatches = append(checkMatches, matchColumn(m, syn, 1<<uint(bit)))
+		}
+		out.InCheck = m.ReduceOr(checkMatches)
+		if c.AddrWidth > 0 {
+			var addrMatches rtl.Bus
+			for i := 0; i < c.AddrWidth; i++ {
+				addrMatches = append(addrMatches, matchColumn(m, syn, c.cols[c.DataWidth+i]))
+			}
+			out.InAddr = m.ReduceOr(addrMatches)
+		} else {
+			out.InAddr = m.Low()
+		}
+	} else {
+		out.InData = m.Low()
+		out.InCheck = m.Low()
+		out.InAddr = m.Low()
+	}
+	return out
+}
+
+// matchColumn emits syn == col as an AND over (possibly inverted)
+// syndrome bits.
+func matchColumn(m *rtl.Module, syn rtl.Bus, col uint32) netlist.NetID {
+	terms := make(rtl.Bus, len(syn))
+	for b := range syn {
+		if col>>uint(b)&1 == 1 {
+			terms[b] = syn[b]
+		} else {
+			terms[b] = m.NotBit(syn[b])
+		}
+	}
+	return m.ReduceAnd(terms)
+}

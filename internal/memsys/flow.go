@@ -1,0 +1,50 @@
+package memsys
+
+import (
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/inject"
+	"repro/internal/workload"
+	"repro/internal/zones"
+)
+
+// FlowDUT adapts a built design (plus its standard workloads and
+// coverage seeds) to the core methodology flow.
+type FlowDUT struct {
+	D *Design
+	// ValidationWords is the address-slice size of the campaign workload.
+	ValidationWords int
+	Seed            uint64
+}
+
+// NewFlowDUT wraps a design with flow defaults.
+func NewFlowDUT(d *Design) *FlowDUT {
+	return &FlowDUT{D: d, ValidationWords: 8, Seed: 1}
+}
+
+// DesignName implements core.DUT.
+func (f *FlowDUT) DesignName() string { return f.D.Cfg.Name }
+
+// Analyze implements core.DUT.
+func (f *FlowDUT) Analyze() (*zones.Analysis, error) { return f.D.Analyze() }
+
+// Worksheet implements core.DUT.
+func (f *FlowDUT) Worksheet(a *zones.Analysis, rates fit.Rates) *fmea.Worksheet {
+	return f.D.Worksheet(a, rates)
+}
+
+// Target implements core.DUT: instances carry the standard coverage
+// seeds so the golden run exercises the detection paths too.
+func (f *FlowDUT) Target(a *zones.Analysis) *inject.Target {
+	return f.D.InjectionTargetSeeded(a, f.D.SeedFaults())
+}
+
+// ValidationTrace implements core.DUT.
+func (f *FlowDUT) ValidationTrace() *workload.Trace {
+	return f.D.ValidationWorkload(f.ValidationWords, f.Seed)
+}
+
+// CoverageTrace implements core.DUT.
+func (f *FlowDUT) CoverageTrace() *workload.Trace {
+	return f.D.CoverageWorkload(f.Seed)
+}

@@ -1,0 +1,45 @@
+package memsys
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/zones"
+)
+
+// TestCodecBenchVerilogRoundTrip writes the codec testbench to Verilog,
+// parses it back, and checks that zone extraction still finds the same
+// population — the interchange path a third-party netlist would take.
+func TestCodecBenchVerilogRoundTrip(t *testing.T) {
+	cfg := V2Config()
+	n, err := BuildCodecBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := netlist.ParseVerilog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Gates) != len(n.Gates) {
+		t.Errorf("gates %d != %d", len(p.Gates), len(n.Gates))
+	}
+	a1, err := zones.Extract(n, zones.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := zones.Extract(p, zones.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Zones) != len(a2.Zones) {
+		t.Errorf("zones %d != %d after round trip", len(a2.Zones), len(a1.Zones))
+	}
+	if len(a1.Obs) != len(a2.Obs) {
+		t.Errorf("obs %d != %d", len(a2.Obs), len(a1.Obs))
+	}
+}

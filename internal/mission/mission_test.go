@@ -1,0 +1,144 @@
+package mission
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/iec61508"
+	"repro/internal/inject"
+	"repro/internal/memsys"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+	"repro/internal/zones"
+)
+
+// twoZone builds a DUT with a heavy-rate naked register and a light-rate
+// protected one, plus a worksheet reflecting that.
+func twoZone(t *testing.T) (*inject.Target, *inject.Golden, *fmea.Worksheet, *zones.Analysis) {
+	t.Helper()
+	m := rtl.NewModule("mz")
+	d := m.Input("d", 4)
+	rp := m.RegNext("r_prot", d, 0)
+	pp := m.RegNext("r_par", rtl.Bus{m.Parity(d)}, 0)
+	alarm := m.XorBit(m.Parity(rp), pp[0])
+	m.Output("out_p", rp)
+	m.Output("alarm_par", rtl.Bus{alarm})
+	rn := m.RegNext("r_naked", d, 0)
+	m.Output("out_n", rn)
+	n := m.MustFinish()
+	a, err := zones.Extract(n, zones.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &inject.Target{
+		Analysis:    a,
+		NewInstance: func() (*sim.Simulator, error) { return sim.New(n) },
+	}
+	tr := workload.NewTrace("d")
+	rng := xrand.New(2)
+	for c := 0; c < 20; c++ {
+		tr.Add(map[string]uint64{"d": rng.Bits(4)})
+	}
+	g, err := target.RunGolden(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zp, _ := a.ZoneByName("r_prot")
+	zn, _ := a.ZoneByName("r_naked")
+	w := fmea.New("mz")
+	w.AddRow(zp.ID, "r_prot", fmea.Spec{
+		Mode: iec61508.FMTransient, Lambda: fit.Contribution{Transient: 10},
+		S: 0.2, Freq: fmea.F1, Lifetime: 1,
+		DDF: fmea.DDF{HWTransient: 0.99}, TechHW: iec61508.TechRedundantChecker,
+	})
+	w.AddRow(zn.ID, "r_naked", fmea.Spec{
+		Mode: iec61508.FMTransient, Lambda: fit.Contribution{Transient: 90},
+		S: 0.2, Freq: fmea.F1, Lifetime: 1,
+	})
+	return target, g, w, a
+}
+
+func TestMissionSamplingFollowsRates(t *testing.T) {
+	target, g, w, _ := twoZone(t)
+	res, err := Run(target, g, w, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missions != 200 || res.Safe+res.DangerDet+res.DangerUndet != 200 {
+		t.Fatalf("counts don't add up: %+v", res)
+	}
+	// The naked zone carries 90% of the rate and none of its dangerous
+	// failures are detected, so undetected-dangerous must dominate the
+	// dangerous outcomes.
+	if res.DangerUndet <= res.DangerDet {
+		t.Errorf("rate weighting broken: undetected %d <= detected %d",
+			res.DangerUndet, res.DangerDet)
+	}
+	if res.LambdaTotal != 100 {
+		t.Errorf("λ_total = %v, want 100", res.LambdaTotal)
+	}
+	// Interval sanity.
+	if !(res.SFFLow <= res.SFFEmpirical && res.SFFEmpirical <= res.SFFHigh) {
+		t.Errorf("CI malformed: %+v", res)
+	}
+	if !strings.Contains(res.String(), "SFF_emp") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestMissionDeterministic(t *testing.T) {
+	target, g, w, _ := twoZone(t)
+	a, _ := Run(target, g, w, 60, 5)
+	b, _ := Run(target, g, w, 60, 5)
+	if a != b {
+		t.Error("same seed, different results")
+	}
+	// (Different seeds may legitimately land on the same outcome counts
+	// at this sample size, so only same-seed reproducibility is asserted.)
+}
+
+func TestMissionEmptyWorksheet(t *testing.T) {
+	target, g, _, _ := twoZone(t)
+	if _, err := Run(target, g, fmea.New("empty"), 10, 1); err == nil {
+		t.Error("empty worksheet accepted")
+	}
+}
+
+// TestMissionAgreesWithWorksheetOnV2 is the headline check: the
+// empirical SFF interval of the final memory sub-system must contain —
+// or sit above — the analytical SFF (the sheet is conservative).
+func TestMissionAgreesWithWorksheetOnV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mission Monte Carlo is slow")
+	}
+	cfg := memsys.V2Config()
+	cfg.AddrWidth = 6
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := d.Worksheet(a, fit.Default())
+	target := d.InjectionTargetSeeded(a, d.SeedFaults())
+	g, err := target.RunGolden(d.ValidationWorkload(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(target, g, w, 150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := w.Totals().SFF()
+	t.Logf("v2: analytic SFF %.4f, empirical %s", analytic, res)
+	if res.SFFLow > 1 || res.SFFHigh < analytic-0.05 {
+		t.Errorf("empirical SFF %.4f [%.4f, %.4f] far below analytic %.4f",
+			res.SFFEmpirical, res.SFFLow, res.SFFHigh, analytic)
+	}
+}

@@ -1,0 +1,200 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as structural Verilog: primitive gate
+// instantiations (and/or/nand/nor/xor/xnor/not/buf), a 2:1 mux as an
+// assign, behavioral always-blocks for the D flip-flops, and a shared
+// clk/rst_n pair — the flat "synthesized RTL" form the paper's
+// extraction tool consumes from commercial synthesis.
+func (n *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeIdent(n.Name)
+	fmt.Fprintf(bw, "// structural netlist %q — generated, do not edit\n", n.Name)
+	fmt.Fprintf(bw, "module %s (\n", name)
+	fmt.Fprintf(bw, "  input wire clk,\n  input wire rst_n")
+	for _, p := range n.Inputs {
+		fmt.Fprintf(bw, ",\n  input wire %s%s", vecDecl(len(p.Nets)), sanitizeIdent(p.Name))
+	}
+	for _, p := range n.Outputs {
+		fmt.Fprintf(bw, ",\n  output wire %s%s", vecDecl(len(p.Nets)), sanitizeIdent(p.Name))
+	}
+	fmt.Fprintf(bw, "\n);\n\n")
+
+	// Net naming: w<id> for everything internal; port bits get assigns.
+	wire := func(id NetID) string { return fmt.Sprintf("w%d", id) }
+	declared := make(map[NetID]bool)
+	var decl []string
+	for id := range n.Nets {
+		nid := NetID(id)
+		if !n.IsDriven(nid) && !isRead(n, nid) {
+			continue // orphan
+		}
+		decl = append(decl, wire(nid))
+		declared[nid] = true
+	}
+	for i := 0; i < len(decl); i += 16 {
+		end := i + 16
+		if end > len(decl) {
+			end = len(decl)
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(decl[i:end], ", "))
+	}
+	fmt.Fprintln(bw)
+
+	if n.Const0 != InvalidNet {
+		fmt.Fprintf(bw, "  assign %s = 1'b0;\n", wire(n.Const0))
+	}
+	if n.Const1 != InvalidNet {
+		fmt.Fprintf(bw, "  assign %s = 1'b1;\n", wire(n.Const1))
+	}
+	for _, p := range n.Inputs {
+		for bit, id := range p.Nets {
+			fmt.Fprintf(bw, "  assign %s = %s;\n", wire(id), bitRef(p, bit))
+		}
+	}
+	for _, p := range n.Externals {
+		for _, id := range p.Nets {
+			// Peripheral-driven nets become module inputs in a testbench
+			// context; emit them as supply-less dangling wires tagged for
+			// the integrator.
+			fmt.Fprintf(bw, "  // external (peripheral-driven): %s drives %s\n", p.Name, wire(id))
+		}
+	}
+	fmt.Fprintln(bw)
+
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		ins := make([]string, len(g.Inputs))
+		for k, in := range g.Inputs {
+			ins[k] = wire(in)
+		}
+		comment := ""
+		if g.Block != "" {
+			comment = " // " + g.Block
+		}
+		if g.Type == MUX2 {
+			fmt.Fprintf(bw, "  assign %s = %s ? %s : %s;%s\n",
+				wire(g.Output), ins[0], ins[2], ins[1], comment)
+			continue
+		}
+		fmt.Fprintf(bw, "  %s g%d (%s, %s);%s\n",
+			verilogPrim(g.Type), g.ID, wire(g.Output), strings.Join(ins, ", "), comment)
+	}
+	fmt.Fprintln(bw)
+
+	for i := range n.FFs {
+		ff := &n.FFs[i]
+		rv := "1'b0"
+		if ff.ResetVal {
+			rv = "1'b1"
+		}
+		fmt.Fprintf(bw, "  reg %s_q; // %s\n", ffIdent(i), ff.Name)
+		fmt.Fprintf(bw, "  always @(posedge clk or negedge rst_n)\n")
+		fmt.Fprintf(bw, "    if (!rst_n) %s_q <= %s;\n", ffIdent(i), rv)
+		if ff.Enable != InvalidNet {
+			fmt.Fprintf(bw, "    else if (%s) %s_q <= %s;\n", wire(ff.Enable), ffIdent(i), wire(ff.D))
+		} else {
+			fmt.Fprintf(bw, "    else %s_q <= %s;\n", ffIdent(i), wire(ff.D))
+		}
+		fmt.Fprintf(bw, "  assign %s = %s_q;\n", wire(ff.Q), ffIdent(i))
+	}
+	fmt.Fprintln(bw)
+
+	for _, p := range n.Outputs {
+		for bit, id := range p.Nets {
+			fmt.Fprintf(bw, "  assign %s = %s;\n", bitRef(p, bit), wire(id))
+		}
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+func isRead(n *Netlist, id NetID) bool {
+	// Conservative: a net is "read" if any gate, FF or output uses it.
+	for i := range n.Gates {
+		for _, in := range n.Gates[i].Inputs {
+			if in == id {
+				return true
+			}
+		}
+	}
+	for i := range n.FFs {
+		if n.FFs[i].D == id || n.FFs[i].Enable == id {
+			return true
+		}
+	}
+	for _, p := range n.Outputs {
+		for _, o := range p.Nets {
+			if o == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func ffIdent(i int) string { return fmt.Sprintf("ff%d", i) }
+
+func vecDecl(width int) string {
+	if width == 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", width-1)
+}
+
+func bitRef(p Port, bit int) string {
+	name := sanitizeIdent(p.Name)
+	if len(p.Nets) == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s[%d]", name, bit)
+}
+
+func verilogPrim(t GateType) string {
+	switch t {
+	case BUF:
+		return "buf"
+	case NOT:
+		return "not"
+	case AND:
+		return "and"
+	case OR:
+		return "or"
+	case NAND:
+		return "nand"
+	case NOR:
+		return "nor"
+	case XOR:
+		return "xor"
+	case XNOR:
+		return "xnor"
+	}
+	return "buf"
+}
+
+// sanitizeIdent maps arbitrary names onto legal Verilog identifiers.
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out[0] >= '0' && out[0] <= '9' {
+		out = "_" + out
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// build reconstructs a Netlist from the parsed statement lists. Simple
+// assigns are treated as net aliases (union-find), so a written-then-
+// parsed netlist has the same gate and flip-flop population as the
+// original rather than growing buffer chains.
+func (p *vparser) build() (*Netlist, error) {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			return x
+		}
+		root := find(parent[x])
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, al := range p.aliases {
+		union(al[0], al[1])
+	}
+	for name, v := range p.consts {
+		if v {
+			union(name, "$const1")
+		} else {
+			union(name, "$const0")
+		}
+	}
+
+	n := New(p.moduleName)
+	netOf := map[string]NetID{}
+	getNet := func(name string) NetID {
+		c := find(name)
+		if id, ok := netOf[c]; ok {
+			return id
+		}
+		var id NetID
+		switch c {
+		case "$const0":
+			id = n.ConstNet(false)
+		case "$const1":
+			id = n.ConstNet(true)
+		default:
+			id = n.AddNet("")
+		}
+		netOf[c] = id
+		return id
+	}
+	// Constants may be aliased under a non-$const root; normalize.
+	for _, root := range []string{"$const0", "$const1"} {
+		if r := find(root); r != root {
+			// Make the $const name the class representative.
+			parent[r] = root
+			parent[root] = root
+		}
+	}
+
+	bitName := func(port vPort, bit int) string {
+		if port.width == 1 {
+			return port.name
+		}
+		return fmt.Sprintf("%s[%d]", port.name, bit)
+	}
+	for _, port := range p.ins {
+		nets := n.AddInput(port.name, port.width)
+		for bit, id := range nets {
+			c := find(bitName(port, bit))
+			if _, exists := netOf[c]; exists {
+				return nil, fmt.Errorf("verilog: input %s aliases an existing net", bitName(port, bit))
+			}
+			netOf[c] = id
+		}
+	}
+
+	// Two passes over the flip-flops: Q nets first (a D input may
+	// reference any register's Q, including its own), then the cells.
+	for _, ff := range p.ffs {
+		if ff.d == "" {
+			return nil, fmt.Errorf("verilog: reg %q has no always block", ff.reg)
+		}
+		getNet(ff.reg)
+	}
+	for _, ff := range p.ffs {
+		name := ff.rtlName
+		if name == "" {
+			name = ff.reg
+		}
+		block := ""
+		if i := strings.LastIndexByte(name, '/'); i > 0 {
+			block = name[:i]
+		}
+		en := InvalidNet
+		if ff.en != "" {
+			en = getNet(ff.en)
+		}
+		q := getNet(ff.reg)
+		if n.IsDriven(q) {
+			return nil, fmt.Errorf("verilog: reg %q output aliases a driven net", ff.reg)
+		}
+		n.AddFFTo(name, block, getNet(ff.d), en, q, ff.rv)
+	}
+
+	for _, g := range p.gates {
+		out := getNet(g.out)
+		if n.IsDriven(out) {
+			return nil, fmt.Errorf("verilog: net %q driven twice", g.out)
+		}
+		ins := make([]NetID, len(g.ins))
+		for i, in := range g.ins {
+			ins[i] = getNet(in)
+		}
+		n.AddGateTo(primType(g.prim), g.block, out, ins...)
+	}
+	for _, m := range p.muxes {
+		out := getNet(m.out)
+		if n.IsDriven(out) {
+			return nil, fmt.Errorf("verilog: net %q driven twice", m.out)
+		}
+		n.AddGateTo(MUX2, m.block, out, getNet(m.sel), getNet(m.a), getNet(m.b))
+	}
+
+	for _, port := range p.outs {
+		nets := make([]NetID, port.width)
+		for bit := range nets {
+			nets[bit] = getNet(bitName(port, bit))
+		}
+		n.AddOutput(port.name, nets)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("verilog: parsed netlist invalid: %w", err)
+	}
+	return n, nil
+}
+
+func primType(prim string) GateType {
+	switch prim {
+	case "buf":
+		return BUF
+	case "not":
+		return NOT
+	case "and":
+		return AND
+	case "or":
+		return OR
+	case "nand":
+		return NAND
+	case "nor":
+		return NOR
+	case "xor":
+		return XOR
+	case "xnor":
+		return XNOR
+	}
+	return BUF
+}

@@ -1,0 +1,543 @@
+package netlist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseVerilog reads a structural netlist in the subset WriteVerilog
+// emits (primitive gate instantiations, assign aliases/constants/muxes,
+// and the canonical D-flip-flop always-block), rebuilding a Netlist.
+// Register names and hierarchical block paths are recovered from the
+// emitted trailing comments, so a written-then-parsed netlist supports
+// the full zone-extraction flow.
+func ParseVerilog(r io.Reader) (*Netlist, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{lex: newVLexer(string(src))}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+// ---------- lexer ----------
+
+type vtoken struct {
+	kind vtokKind
+	text string
+	line int
+}
+
+type vtokKind uint8
+
+const (
+	tkIdent vtokKind = iota
+	tkNumber
+	tkSymbol // single punctuation char
+	tkComment
+	tkEOF
+)
+
+type vlexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newVLexer(src string) *vlexer { return &vlexer{src: src, line: 1} }
+
+func (l *vlexer) next() vtoken {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			start := l.pos + 2
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			return vtoken{kind: tkComment, text: strings.TrimSpace(l.src[start:l.pos]), line: l.line}
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			return vtoken{kind: tkIdent, text: l.src[start:l.pos], line: l.line}
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentChar(l.src[l.pos]) || l.src[l.pos] == '\'') {
+				l.pos++
+			}
+			return vtoken{kind: tkNumber, text: l.src[start:l.pos], line: l.line}
+		default:
+			l.pos++
+			return vtoken{kind: tkSymbol, text: string(c), line: l.line}
+		}
+	}
+	return vtoken{kind: tkEOF, line: l.line}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// ---------- parser ----------
+
+type vPort struct {
+	name  string
+	width int
+}
+
+type vGate struct {
+	prim  string
+	out   string
+	ins   []string
+	block string
+}
+
+type vMux struct {
+	out, sel, a, b string
+	block          string
+}
+
+type vFF struct {
+	reg     string
+	rv      bool
+	en      string // "" when always enabled
+	d       string
+	q       string // set by the trailing assign
+	rtlName string
+}
+
+type vparser struct {
+	lex *vlexer
+	tok vtoken
+	// pendingComment is the comment skipped by the most recent advance,
+	// attached to the statement just parsed.
+	pendingComment string
+
+	moduleName string
+	ins        []vPort
+	outs       []vPort
+	consts     map[string]bool
+	aliases    [][2]string // lhs = rhs
+	gates      []vGate
+	muxes      []vMux
+	ffs        []*vFF
+	ffByReg    map[string]*vFF
+}
+
+// trailingComment returns the comment attached to the statement just
+// parsed (the one skipped while advancing past its terminating token).
+func (p *vparser) trailingComment() string {
+	return p.pendingComment
+}
+
+func (p *vparser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("verilog: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *vparser) expectSym(s string) error {
+	if p.tok.kind != tkSymbol || p.tok.text != s {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	p.advanceRaw()
+	return nil
+}
+
+func (p *vparser) expectIdent(s string) error {
+	if p.tok.kind != tkIdent || p.tok.text != s {
+		return p.errf("expected %q, got %q", s, p.tok.text)
+	}
+	p.advanceRaw()
+	return nil
+}
+
+// advanceRaw moves to the next token, recording any comment skipped on
+// the way (so statement parsers can attach it).
+func (p *vparser) advanceRaw() {
+	p.pendingComment = ""
+	for {
+		p.tok = p.lex.next()
+		if p.tok.kind != tkComment {
+			return
+		}
+		p.pendingComment = p.tok.text
+	}
+}
+
+func (p *vparser) parse() error {
+	p.consts = map[string]bool{}
+	p.ffByReg = map[string]*vFF{}
+	p.advanceRaw()
+	if err := p.expectIdent("module"); err != nil {
+		return err
+	}
+	if p.tok.kind != tkIdent {
+		return p.errf("expected module name")
+	}
+	p.moduleName = p.tok.text
+	p.advanceRaw()
+	if err := p.parsePortList(); err != nil {
+		return err
+	}
+	for {
+		switch {
+		case p.tok.kind == tkEOF:
+			return p.errf("unexpected EOF before endmodule")
+		case p.tok.kind == tkIdent && p.tok.text == "endmodule":
+			return nil
+		case p.tok.kind == tkIdent && p.tok.text == "wire":
+			if err := p.skipToSemicolon(); err != nil {
+				return err
+			}
+		case p.tok.kind == tkIdent && p.tok.text == "assign":
+			if err := p.parseAssign(); err != nil {
+				return err
+			}
+		case p.tok.kind == tkIdent && p.tok.text == "reg":
+			if err := p.parseRegDecl(); err != nil {
+				return err
+			}
+		case p.tok.kind == tkIdent && p.tok.text == "always":
+			if err := p.parseAlways(); err != nil {
+				return err
+			}
+		case p.tok.kind == tkIdent && isPrim(p.tok.text):
+			if err := p.parseGate(p.tok.text); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected token %q", p.tok.text)
+		}
+	}
+}
+
+func isPrim(s string) bool {
+	switch s {
+	case "buf", "not", "and", "or", "nand", "nor", "xor", "xnor":
+		return true
+	}
+	return false
+}
+
+func (p *vparser) parsePortList() error {
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	for {
+		if p.tok.kind != tkIdent {
+			return p.errf("expected input/output in port list")
+		}
+		dir := p.tok.text
+		if dir != "input" && dir != "output" {
+			return p.errf("expected input/output, got %q", dir)
+		}
+		p.advanceRaw()
+		if p.tok.kind == tkIdent && p.tok.text == "wire" {
+			p.advanceRaw()
+		}
+		width := 1
+		if p.tok.kind == tkSymbol && p.tok.text == "[" {
+			p.advanceRaw()
+			msb, err := p.parseInt()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSym(":"); err != nil {
+				return err
+			}
+			if _, err := p.parseInt(); err != nil {
+				return err
+			}
+			if err := p.expectSym("]"); err != nil {
+				return err
+			}
+			width = msb + 1
+		}
+		if p.tok.kind != tkIdent {
+			return p.errf("expected port name")
+		}
+		port := vPort{name: p.tok.text, width: width}
+		p.advanceRaw()
+		if port.name != "clk" && port.name != "rst_n" {
+			if dir == "input" {
+				p.ins = append(p.ins, port)
+			} else {
+				p.outs = append(p.outs, port)
+			}
+		}
+		if p.tok.kind == tkSymbol && p.tok.text == "," {
+			p.advanceRaw()
+			continue
+		}
+		if err := p.expectSym(")"); err != nil {
+			return err
+		}
+		return p.expectSym(";")
+	}
+}
+
+func (p *vparser) parseInt() (int, error) {
+	if p.tok.kind != tkNumber {
+		return 0, p.errf("expected number, got %q", p.tok.text)
+	}
+	var v int
+	if _, err := fmt.Sscanf(p.tok.text, "%d", &v); err != nil {
+		return 0, p.errf("bad number %q", p.tok.text)
+	}
+	p.advanceRaw()
+	return v, nil
+}
+
+// parseOperand reads an identifier with optional [bit] selector, or a
+// 1-bit constant, returning the canonical net name.
+func (p *vparser) parseOperand() (string, error) {
+	if p.tok.kind == tkNumber {
+		switch p.tok.text {
+		case "1'b0":
+			p.advanceRaw()
+			return "$const0", nil
+		case "1'b1":
+			p.advanceRaw()
+			return "$const1", nil
+		}
+		return "", p.errf("unexpected constant %q", p.tok.text)
+	}
+	if p.tok.kind != tkIdent {
+		return "", p.errf("expected operand, got %q", p.tok.text)
+	}
+	name := p.tok.text
+	p.advanceRaw()
+	if p.tok.kind == tkSymbol && p.tok.text == "[" {
+		p.advanceRaw()
+		bit, err := p.parseInt()
+		if err != nil {
+			return "", err
+		}
+		if err := p.expectSym("]"); err != nil {
+			return "", err
+		}
+		name = fmt.Sprintf("%s[%d]", name, bit)
+	}
+	return name, nil
+}
+
+func (p *vparser) parseAssign() error {
+	p.advanceRaw() // consume "assign"
+	lhs, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	rhs, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	if p.tok.kind == tkSymbol && p.tok.text == "?" {
+		// mux: lhs = sel ? b : a
+		p.advanceRaw()
+		bOp, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSym(":"); err != nil {
+			return err
+		}
+		aOp, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return err
+		}
+		block := p.trailingComment()
+		p.muxes = append(p.muxes, vMux{out: lhs, sel: rhs, a: aOp, b: bOp, block: block})
+		return nil
+	}
+	if err := p.expectSym(";"); err != nil {
+		return err
+	}
+	p.trailingComment()
+	switch rhs {
+	case "$const0":
+		p.consts[lhs] = false
+	case "$const1":
+		p.consts[lhs] = true
+	default:
+		p.aliases = append(p.aliases, [2]string{lhs, rhs})
+	}
+	return nil
+}
+
+func (p *vparser) parseGate(prim string) error {
+	p.advanceRaw() // prim
+	if p.tok.kind != tkIdent {
+		return p.errf("expected instance name")
+	}
+	p.advanceRaw()
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	var args []string
+	for {
+		op, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		args = append(args, op)
+		if p.tok.kind == tkSymbol && p.tok.text == "," {
+			p.advanceRaw()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return err
+	}
+	if err := p.expectSym(";"); err != nil {
+		return err
+	}
+	block := p.trailingComment()
+	if len(args) < 2 {
+		return p.errf("gate %s with %d terminals", prim, len(args))
+	}
+	p.gates = append(p.gates, vGate{prim: prim, out: args[0], ins: args[1:], block: block})
+	return nil
+}
+
+func (p *vparser) parseRegDecl() error {
+	p.advanceRaw() // reg
+	if p.tok.kind != tkIdent {
+		return p.errf("expected reg name")
+	}
+	reg := p.tok.text
+	p.advanceRaw()
+	if err := p.expectSym(";"); err != nil {
+		return err
+	}
+	rtlName := p.trailingComment()
+	ff := &vFF{reg: reg, rtlName: rtlName}
+	p.ffByReg[reg] = ff
+	p.ffs = append(p.ffs, ff)
+	return nil
+}
+
+// parseAlways consumes the canonical FF block:
+//
+//	always @(posedge clk or negedge rst_n)
+//	  if (!rst_n) R <= 1'bV;
+//	  [else if (EN) R <= D;] | [else R <= D;]
+func (p *vparser) parseAlways() error {
+	p.advanceRaw() // always
+	if err := p.expectSym("@"); err != nil {
+		return err
+	}
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tkSymbol && p.tok.text == ")") {
+		if p.tok.kind == tkEOF {
+			return p.errf("unterminated sensitivity list")
+		}
+		p.advanceRaw()
+	}
+	p.advanceRaw() // )
+	if err := p.expectIdent("if"); err != nil {
+		return err
+	}
+	if err := p.expectSym("("); err != nil {
+		return err
+	}
+	if err := p.expectSym("!"); err != nil {
+		return err
+	}
+	if err := p.expectIdent("rst_n"); err != nil {
+		return err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return err
+	}
+	if p.tok.kind != tkIdent {
+		return p.errf("expected reg in reset arm")
+	}
+	reg := p.tok.text
+	ff := p.ffByReg[reg]
+	if ff == nil {
+		return p.errf("always block for undeclared reg %q", reg)
+	}
+	p.advanceRaw()
+	if err := p.expectSym("<"); err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	if p.tok.kind != tkNumber {
+		return p.errf("expected reset constant")
+	}
+	ff.rv = p.tok.text == "1'b1"
+	p.advanceRaw()
+	if err := p.expectSym(";"); err != nil {
+		return err
+	}
+	if err := p.expectIdent("else"); err != nil {
+		return err
+	}
+	if p.tok.kind == tkIdent && p.tok.text == "if" {
+		p.advanceRaw()
+		if err := p.expectSym("("); err != nil {
+			return err
+		}
+		en, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		ff.en = en
+		if err := p.expectSym(")"); err != nil {
+			return err
+		}
+	}
+	if err := p.expectIdent(reg); err != nil {
+		return err
+	}
+	if err := p.expectSym("<"); err != nil {
+		return err
+	}
+	if err := p.expectSym("="); err != nil {
+		return err
+	}
+	d, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	ff.d = d
+	return p.expectSym(";")
+}
+
+func (p *vparser) skipToSemicolon() error {
+	for {
+		if p.tok.kind == tkEOF {
+			return p.errf("unexpected EOF")
+		}
+		if p.tok.kind == tkSymbol && p.tok.text == ";" {
+			p.advanceRaw()
+			return nil
+		}
+		p.advanceRaw()
+	}
+}

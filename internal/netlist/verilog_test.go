@@ -1,0 +1,179 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildSample returns a netlist exercising every emitted construct:
+// gates of each type, a mux, constants, plain and enabled FFs, vector
+// and scalar ports, block paths.
+func buildSample(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("sample design")
+	a := n.AddInput("a", 4)
+	b := n.AddInput("b", 1)[0]
+	en := n.AddInput("en", 1)[0]
+
+	x := n.AddGate(AND, "BLK/SUB", a[0], a[1])
+	y := n.AddGate(XOR, "BLK/SUB", x, a[2])
+	z := n.AddGate(NOR, "", y, b)
+	inv := n.AddGate(NOT, "", z)
+	c1 := n.ConstNet(true)
+	mx := n.AddGate(MUX2, "MUXB", b, inv, c1)
+
+	_, q1 := n.AddFF("REGS/state[0]", "REGS", mx, InvalidNet, false)
+	_, q2 := n.AddFF("REGS/state[1]", "REGS", q1, en, true)
+	out := n.AddGate(OR, "", q1, q2)
+
+	n.AddOutput("y", []NetID{out})
+	n.AddOutput("vec", []NetID{q1, q2})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func roundTrip(t *testing.T, n *Netlist) *Netlist {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseVerilog(&buf)
+	if err != nil {
+		t.Fatalf("parse back: %v\n---\n%s", err, buf.String())
+	}
+	return parsed
+}
+
+func TestVerilogWriteBasics(t *testing.T) {
+	n := buildSample(t)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for _, want := range []string{
+		"module sample_design", "input wire [3:0] a", "output wire y",
+		"and g0", "xor g1", "nor g2", "not g3",
+		"? ", "always @(posedge clk or negedge rst_n)",
+		"// REGS/state[0]", "// BLK/SUB", "endmodule",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted Verilog missing %q", want)
+		}
+	}
+}
+
+func TestVerilogRoundTripStructure(t *testing.T) {
+	n := buildSample(t)
+	p := roundTrip(t, n)
+	if p.Name != "sample_design" {
+		t.Errorf("module name = %q", p.Name)
+	}
+	if len(p.Gates) != len(n.Gates) {
+		t.Errorf("gate count %d != %d", len(p.Gates), len(n.Gates))
+	}
+	if len(p.FFs) != len(n.FFs) {
+		t.Errorf("FF count %d != %d", len(p.FFs), len(n.FFs))
+	}
+	if len(p.Inputs) != len(n.Inputs) || len(p.Outputs) != len(n.Outputs) {
+		t.Error("port counts differ")
+	}
+	// Register names and enables survive.
+	if p.FFs[0].Name != "REGS/state[0]" || p.FFs[0].Block != "REGS" {
+		t.Errorf("FF0 = %q block %q", p.FFs[0].Name, p.FFs[0].Block)
+	}
+	if p.FFs[1].Enable == InvalidNet {
+		t.Error("FF1 enable lost")
+	}
+	if !p.FFs[1].ResetVal || p.FFs[0].ResetVal {
+		t.Error("reset values lost")
+	}
+	// Register compaction still works on the parsed netlist.
+	groups := p.RegisterGroups()
+	if len(groups["REGS/state"]) != 2 {
+		t.Errorf("register group lost: %v", groups)
+	}
+	// Gate blocks survive.
+	foundBlock := false
+	for i := range p.Gates {
+		if p.Gates[i].Block == "BLK/SUB" {
+			foundBlock = true
+		}
+	}
+	if !foundBlock {
+		t.Error("gate block path lost")
+	}
+}
+
+func TestVerilogRoundTripSecondGeneration(t *testing.T) {
+	// write(parse(write(n))) must be stable.
+	n := buildSample(t)
+	p1 := roundTrip(t, n)
+	p2 := roundTrip(t, p1)
+	if len(p2.Gates) != len(p1.Gates) || len(p2.FFs) != len(p1.FFs) ||
+		len(p2.Nets) != len(p1.Nets) {
+		t.Errorf("second generation drifted: %v vs %v", p2.String(), p1.String())
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no module":    "wire w;",
+		"bad port dir": "module m (inout wire x); endmodule",
+		"early EOF":    "module m (input wire x);",
+		"double drive": `module m (input wire x, output wire y);
+			wire w0; buf g0 (w0, x); buf g1 (w0, x); assign y = w0; endmodule`,
+		"undeclared reg": `module m (input wire x, output wire y);
+			always @(posedge clk or negedge rst_n) if (!rst_n) r <= 1'b0; else r <= x;
+			assign y = x; endmodule`,
+		"reg without always": `module m (input wire x, output wire y);
+			reg f_q; assign y = x; endmodule`,
+	}
+	for name, src := range cases {
+		if _, err := ParseVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestParseVerilogHandwritten(t *testing.T) {
+	// A hand-written netlist in the supported subset, with free-form
+	// whitespace and comments.
+	src := `
+// a hand-written majority voter
+module maj (
+  input wire clk, input wire rst_n,
+  input wire [2:0] in,
+  output wire out
+);
+  wire w0, w1, w2, w3;
+  and gA (w0, in[0], in[1]); // VOTER
+  and gB (w1, in[1], in[2]); // VOTER
+  and gC (w2, in[0], in[2]); // VOTER
+  or  gD (w3, w0, w1, w2);   // VOTER
+  reg f_q; // VOTER/latched
+  always @(posedge clk or negedge rst_n)
+    if (!rst_n) f_q <= 1'b0;
+    else f_q <= w3;
+  assign out = f_q;
+endmodule
+`
+	n, err := ParseVerilog(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Gates) != 4 || len(n.FFs) != 1 {
+		t.Fatalf("parsed %d gates %d FFs", len(n.Gates), len(n.FFs))
+	}
+	if n.FFs[0].Name != "VOTER/latched" {
+		t.Errorf("FF name = %q", n.FFs[0].Name)
+	}
+	if p, ok := n.FindInput("in"); !ok || len(p.Nets) != 3 {
+		t.Error("vector input lost")
+	}
+}

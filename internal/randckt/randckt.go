@@ -1,0 +1,89 @@
+// Package randckt generates random synchronous circuits for
+// property-based and differential testing: random gate DAGs with
+// registers, all ports wired, guaranteed acyclic and validated.
+package randckt
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/xrand"
+)
+
+// Config bounds the generated circuit.
+type Config struct {
+	Inputs   int // primary input bits
+	Gates    int
+	FFs      int
+	Outputs  int // primary output bits
+	MaxArity int // for variadic gates (>= 2)
+}
+
+// Default is a small but structurally rich circuit.
+func Default() Config {
+	return Config{Inputs: 6, Gates: 40, FFs: 6, Outputs: 4, MaxArity: 3}
+}
+
+// Generate builds a random circuit. Same seed, same circuit.
+func Generate(cfg Config, seed uint64) *netlist.Netlist {
+	if cfg.MaxArity < 2 {
+		cfg.MaxArity = 2
+	}
+	rng := xrand.New(seed)
+	n := netlist.New(fmt.Sprintf("rand-%d", seed))
+
+	var pool []netlist.NetID
+	pool = append(pool, n.AddInput("in", cfg.Inputs)...)
+
+	// Registers first (Q nets join the pool; D bound later so registers
+	// can sample any gate, giving feedback through state).
+	type pendingFF struct{ id netlist.FFID }
+	ffs := make([]pendingFF, cfg.FFs)
+	for i := range ffs {
+		id, q := n.AddFF(fmt.Sprintf("r[%d]", i), "R", pool[rng.Intn(len(pool))], netlist.InvalidNet, rng.Bool())
+		ffs[i] = pendingFF{id: id}
+		pool = append(pool, q)
+	}
+
+	types := []netlist.GateType{
+		netlist.BUF, netlist.NOT, netlist.AND, netlist.OR,
+		netlist.NAND, netlist.NOR, netlist.XOR, netlist.XNOR, netlist.MUX2,
+	}
+	for g := 0; g < cfg.Gates; g++ {
+		t := types[rng.Intn(len(types))]
+		arity := t.Arity()
+		if arity < 0 {
+			arity = 2 + rng.Intn(cfg.MaxArity-1)
+		}
+		ins := make([]netlist.NetID, arity)
+		for i := range ins {
+			ins[i] = pool[rng.Intn(len(pool))]
+		}
+		out := n.AddGate(t, "G", ins...)
+		pool = append(pool, out)
+	}
+
+	// Rebind FF D inputs anywhere in the final pool (cannot create
+	// combinational cycles: only FF Q breaks paths).
+	for _, ff := range ffs {
+		n.SetFFD(ff.id, pool[rng.Intn(len(pool))])
+	}
+
+	// Outputs sample the most recent cone tips to keep logic live.
+	outs := make([]netlist.NetID, cfg.Outputs)
+	for i := range outs {
+		outs[i] = pool[len(pool)-1-rng.Intn(minInt(len(pool), cfg.Gates))]
+	}
+	n.AddOutput("out", outs)
+	if err := n.Validate(); err != nil {
+		panic(fmt.Sprintf("randckt: generated invalid circuit: %v", err))
+	}
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

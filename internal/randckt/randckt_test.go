@@ -1,0 +1,37 @@
+package randckt
+
+import "testing"
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := Generate(Default(), seed)
+		b := Generate(Default(), seed)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d nondeterministic: %s vs %s", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d invalid: %v", seed, err)
+		}
+		if len(a.Gates) == 0 || len(a.FFs) == 0 {
+			t.Fatalf("seed %d degenerate: %s", seed, a)
+		}
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	cfg := Config{Inputs: 3, Gates: 10, FFs: 2, Outputs: 2, MaxArity: 4}
+	n := Generate(cfg, 7)
+	if len(n.Gates) != 10 || len(n.FFs) != 2 {
+		t.Errorf("generated %d gates %d FFs", len(n.Gates), len(n.FFs))
+	}
+	in, _ := n.FindInput("in")
+	out, _ := n.FindOutput("out")
+	if len(in.Nets) != 3 || len(out.Nets) != 2 {
+		t.Error("port widths wrong")
+	}
+	for i := range n.Gates {
+		if len(n.Gates[i].Inputs) > 4 {
+			t.Error("arity bound violated")
+		}
+	}
+}

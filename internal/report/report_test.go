@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Results", "name", "value", "ratio")
+	tb.AddRow("alpha", 42, 0.123456)
+	tb.AddRow("a-much-longer-name", 7, 1.0)
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Results" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "0.1235") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns aligned: "value" header starts at same offset as 42.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[4], "7")
+	if hIdx < 0 || rIdx < 0 || rIdx < hIdx {
+		t.Errorf("alignment broken:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	out := tb.Render()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("leading newline with empty title")
+	}
+	if !strings.HasPrefix(out, "a") {
+		t.Errorf("header missing: %q", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.9938) != "99.38%" {
+		t.Errorf("Pct = %q", Pct(0.9938))
+	}
+	if Pct(1) != "100.00%" {
+		t.Errorf("Pct(1) = %q", Pct(1))
+	}
+}

@@ -1,0 +1,499 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestValueBasics(t *testing.T) {
+	if V0.String() != "0" || V1.String() != "1" || VX.String() != "X" {
+		t.Error("Value.String wrong")
+	}
+	if V0.Inv() != V1 || V1.Inv() != V0 || VX.Inv() != VX {
+		t.Error("Inv wrong")
+	}
+	if !V0.Known() || !V1.Known() || VX.Known() {
+		t.Error("Known wrong")
+	}
+	if FromBool(true) != V1 || FromBool(false) != V0 {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestKleeneTables(t *testing.T) {
+	type tc struct{ a, b, and, or, xor Value }
+	cases := []tc{
+		{V0, V0, V0, V0, V0},
+		{V0, V1, V0, V1, V1},
+		{V1, V1, V1, V1, V0},
+		{V0, VX, V0, VX, VX},
+		{V1, VX, VX, V1, VX},
+		{VX, VX, VX, VX, VX},
+	}
+	for _, c := range cases {
+		if got := and2(c.a, c.b); got != c.and {
+			t.Errorf("and2(%v,%v) = %v, want %v", c.a, c.b, got, c.and)
+		}
+		if got := and2(c.b, c.a); got != c.and {
+			t.Errorf("and2(%v,%v) = %v (commuted)", c.b, c.a, got)
+		}
+		if got := or2(c.a, c.b); got != c.or {
+			t.Errorf("or2(%v,%v) = %v, want %v", c.a, c.b, got, c.or)
+		}
+		if got := xor2(c.a, c.b); got != c.xor {
+			t.Errorf("xor2(%v,%v) = %v, want %v", c.a, c.b, got, c.xor)
+		}
+	}
+}
+
+// buildToy returns a 2-input design: y = a AND b, plus a register chain
+// r1 <= y, out port q = r1.
+func buildToy(t *testing.T) (*netlist.Netlist, netlist.FFID) {
+	t.Helper()
+	n := netlist.New("toy")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	y := n.AddGate(netlist.AND, "", a, b)
+	id, q := n.AddFF("r1", "", y, netlist.InvalidNet, false)
+	n.AddOutput("q", []netlist.NetID{q})
+	n.AddOutput("y", []netlist.NetID{y})
+	return n, id
+}
+
+func TestCombinationalEval(t *testing.T) {
+	n, _ := buildToy(t)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 1 {
+		t.Errorf("y = %d, want 1", v)
+	}
+	s.SetInput("b", 0)
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 0 {
+		t.Errorf("y = %d, want 0", v)
+	}
+}
+
+func TestRegisterStepAndReset(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	s.Eval()
+	if v, _ := s.ReadOutput("q"); v != 0 {
+		t.Errorf("q before clock = %d, want 0 (reset value)", v)
+	}
+	s.Step()
+	if v, _ := s.ReadOutput("q"); v != 1 {
+		t.Errorf("q after clock = %d, want 1", v)
+	}
+	if s.Cycle() != 1 {
+		t.Errorf("Cycle = %d, want 1", s.Cycle())
+	}
+	s.Reset()
+	if v, _ := s.ReadOutput("q"); v != 0 {
+		t.Errorf("q after reset = %d, want 0", v)
+	}
+	if s.Cycle() != 0 {
+		t.Errorf("Cycle after reset = %d", s.Cycle())
+	}
+}
+
+func TestEnableRegister(t *testing.T) {
+	n := netlist.New("en")
+	d := n.AddInput("d", 1)[0]
+	en := n.AddInput("en", 1)[0]
+	_, q := n.AddFF("r", "", d, en, false)
+	n.AddOutput("q", []netlist.NetID{q})
+	s, _ := New(n)
+	s.SetInput("d", 1)
+	s.SetInput("en", 0)
+	s.Eval()
+	s.Step()
+	if v, _ := s.ReadOutput("q"); v != 0 {
+		t.Errorf("disabled register loaded: q = %d", v)
+	}
+	s.SetInput("en", 1)
+	s.Eval()
+	s.Step()
+	if v, _ := s.ReadOutput("q"); v != 1 {
+		t.Errorf("enabled register did not load: q = %d", v)
+	}
+	// Unknown enable with D != state -> X
+	s.SetInput("d", 0)
+	s.SetInputX("en")
+	s.Eval()
+	s.Step()
+	if got := s.FFState(0); got != VX {
+		t.Errorf("X enable with differing D: state = %v, want X", got)
+	}
+}
+
+func TestUninitializedInputsAreX(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	// a,b never set -> X; AND(X,X)=X
+	if _, hasX := s.ReadOutput("y"); !hasX {
+		t.Error("expected X on y with undriven inputs")
+	}
+	// Controlling value kills X: a=0 -> y=0
+	s.SetInput("a", 0)
+	s.Eval()
+	if v, hasX := s.ReadOutput("y"); hasX || v != 0 {
+		t.Errorf("y = %d hasX=%v, want 0 known", v, hasX)
+	}
+}
+
+func TestForceNet(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	s.Eval()
+	yNet := n.Outputs[1].Nets[0]
+	s.ForceNet(yNet, V0) // stuck-at-0 on the AND output
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 0 {
+		t.Errorf("forced y = %d, want 0", v)
+	}
+	s.Step()
+	if v, _ := s.ReadOutput("q"); v != 0 {
+		t.Errorf("q after stuck-at = %d, want 0", v)
+	}
+	s.ReleaseNet(yNet)
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 1 {
+		t.Errorf("released y = %d, want 1", v)
+	}
+}
+
+func TestForcePrimaryInputNet(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	aNet := n.Inputs[0].Nets[0]
+	s.ForceNet(aNet, V0)
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 0 {
+		t.Errorf("y with forced input = %d, want 0", v)
+	}
+}
+
+func TestForcePin(t *testing.T) {
+	// y = AND(a, b); force pin 0 of the AND only. Net a also feeds z = NOT a.
+	n := netlist.New("pin")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	y := n.AddGate(netlist.AND, "", a, b)
+	z := n.AddGate(netlist.NOT, "", a)
+	n.AddOutput("y", []netlist.NetID{y})
+	n.AddOutput("z", []netlist.NetID{z})
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	s.ForcePin(0, 0, V0) // gate 0 = AND, pin 0
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 0 {
+		t.Errorf("y with pin fault = %d, want 0", v)
+	}
+	if v, _ := s.ReadOutput("z"); v != 0 {
+		t.Errorf("z = %d, want 0 (pin fault must not affect other readers)", v)
+	}
+	s.ReleasePin(0, 0)
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 1 {
+		t.Errorf("released y = %d, want 1", v)
+	}
+}
+
+func TestFlipAndSetFF(t *testing.T) {
+	n, id := buildToy(t)
+	s, _ := New(n)
+	s.SetInput("a", 0)
+	s.SetInput("b", 0)
+	s.Eval()
+	s.FlipFF(id)
+	s.Eval()
+	if v, _ := s.ReadOutput("q"); v != 1 {
+		t.Errorf("q after flip = %d, want 1", v)
+	}
+	s.SetFFState(id, V0)
+	s.Eval()
+	if v, _ := s.ReadOutput("q"); v != 0 {
+		t.Errorf("q after SetFFState = %d, want 0", v)
+	}
+	s.SetFFState(id, VX)
+	s.FlipFF(id)
+	if s.FFState(id) != VX {
+		t.Error("flip of X state must stay X")
+	}
+}
+
+func TestReleaseAllAndHasForces(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	if s.HasForces() {
+		t.Error("fresh simulator has forces")
+	}
+	s.ForceNet(0, V1)
+	s.ForcePin(0, 1, V0)
+	if !s.HasForces() {
+		t.Error("forces not registered")
+	}
+	s.ReleaseAll()
+	if s.HasForces() {
+		t.Error("ReleaseAll left forces")
+	}
+}
+
+func TestGateTypes(t *testing.T) {
+	n := netlist.New("g")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	sel := n.AddInput("sel", 1)[0]
+	outs := map[string]netlist.NetID{
+		"buf":  n.AddGate(netlist.BUF, "", a),
+		"not":  n.AddGate(netlist.NOT, "", a),
+		"and":  n.AddGate(netlist.AND, "", a, b),
+		"or":   n.AddGate(netlist.OR, "", a, b),
+		"nand": n.AddGate(netlist.NAND, "", a, b),
+		"nor":  n.AddGate(netlist.NOR, "", a, b),
+		"xor":  n.AddGate(netlist.XOR, "", a, b),
+		"xnor": n.AddGate(netlist.XNOR, "", a, b),
+		"mux":  n.AddGate(netlist.MUX2, "", sel, a, b),
+	}
+	for name, id := range outs {
+		n.AddOutput(name, []netlist.NetID{id})
+	}
+	s, _ := New(n)
+	check := func(av, bv, selv uint64, want map[string]uint64) {
+		t.Helper()
+		s.SetInput("a", av)
+		s.SetInput("b", bv)
+		s.SetInput("sel", selv)
+		s.Eval()
+		for name, w := range want {
+			if got, _ := s.ReadOutput(name); got != w {
+				t.Errorf("a=%d b=%d sel=%d: %s = %d, want %d", av, bv, selv, name, got, w)
+			}
+		}
+	}
+	check(1, 0, 0, map[string]uint64{"buf": 1, "not": 0, "and": 0, "or": 1, "nand": 1, "nor": 0, "xor": 1, "xnor": 0, "mux": 1})
+	check(1, 1, 1, map[string]uint64{"and": 1, "or": 1, "nand": 0, "nor": 0, "xor": 0, "xnor": 1, "mux": 1})
+	check(0, 1, 1, map[string]uint64{"mux": 1})
+	check(0, 1, 0, map[string]uint64{"mux": 0})
+}
+
+func TestMuxXSelect(t *testing.T) {
+	n := netlist.New("m")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	sel := n.AddInput("sel", 1)[0]
+	y := n.AddGate(netlist.MUX2, "", sel, a, b)
+	n.AddOutput("y", []netlist.NetID{y})
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	s.SetInputX("sel")
+	s.Eval()
+	if v, hasX := s.ReadOutput("y"); hasX || v != 1 {
+		t.Errorf("mux(X,1,1) = %d hasX=%v, want known 1", v, hasX)
+	}
+	s.SetInput("b", 0)
+	s.Eval()
+	if _, hasX := s.ReadOutput("y"); !hasX {
+		t.Error("mux(X,1,0) should be X")
+	}
+}
+
+// ramPeriph is a tiny behavioral 4-word register file peripheral.
+type ramPeriph struct {
+	addr, wdata, we []netlist.NetID
+	rdata           []netlist.NetID
+	mem             [4]uint8
+	sAddr           uint8
+	sData           uint8
+	sWE             bool
+}
+
+func (r *ramPeriph) Sample(get func(netlist.NetID) Value) {
+	r.sAddr = 0
+	for i, id := range r.addr {
+		if get(id) == V1 {
+			r.sAddr |= 1 << uint(i)
+		}
+	}
+	r.sData = 0
+	for i, id := range r.wdata {
+		if get(id) == V1 {
+			r.sData |= 1 << uint(i)
+		}
+	}
+	r.sWE = get(r.we[0]) == V1
+}
+
+func (r *ramPeriph) Commit(set func(netlist.NetID, Value)) {
+	if r.sWE {
+		r.mem[r.sAddr&3] = r.sData
+	}
+	v := r.mem[r.sAddr&3]
+	for i, id := range r.rdata {
+		set(id, FromBool(v>>uint(i)&1 == 1))
+	}
+}
+
+func TestPeripheralRAM(t *testing.T) {
+	n := netlist.New("ram")
+	addr := n.AddInput("addr", 2)
+	wdata := n.AddInput("wdata", 4)
+	we := n.AddInput("we", 1)
+	rdata := n.AddExternal("rdata", 4)
+	n.AddOutput("rdata", rdata)
+	s, _ := New(n)
+	s.AttachPeripheral(&ramPeriph{addr: addr, wdata: wdata, we: we, rdata: rdata})
+
+	s.SetInput("addr", 2)
+	s.SetInput("wdata", 9)
+	s.SetInput("we", 1)
+	s.Eval()
+	s.Step() // write 9 @2
+	s.SetInput("we", 0)
+	s.SetInput("wdata", 0)
+	s.Eval()
+	s.Step() // read @2
+	if v, _ := s.ReadOutput("rdata"); v != 9 {
+		t.Errorf("rdata = %d, want 9", v)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	n, id := buildToy(t)
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 1)
+	s.Eval()
+	s.Step()
+	snap := s.Snapshot()
+	if s.FFState(id) != V1 {
+		t.Fatal("setup failed")
+	}
+	s.SetFFState(id, V0)
+	s.SetInput("a", 0)
+	s.Eval()
+	s.Step()
+	s.Restore(snap)
+	if s.FFState(id) != V1 {
+		t.Error("restore did not recover FF state")
+	}
+	if v, _ := s.ReadOutput("y"); v != 1 {
+		t.Error("restore did not recover input values")
+	}
+	if s.Cycle() != snap.cycle {
+		t.Error("restore did not recover cycle count")
+	}
+}
+
+func TestRunSteps(t *testing.T) {
+	// 3-bit counter: r <= r+1 built by hand with XOR/AND chain.
+	n := netlist.New("cnt")
+	var q [3]netlist.NetID
+	var ids [3]netlist.FFID
+	for i := range q {
+		ids[i], q[i] = n.AddFF("c["+string(rune('0'+i))+"]", "", netlist.InvalidNet+0, netlist.InvalidNet, false)
+	}
+	carry := n.ConstNet(true)
+	for i := range q {
+		sum := n.AddGate(netlist.XOR, "", q[i], carry)
+		carry = n.AddGate(netlist.AND, "", q[i], carry)
+		n.SetFFD(ids[i], sum)
+	}
+	n.AddOutput("c", q[:])
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	if v, _ := s.ReadOutput("c"); v != 5 {
+		t.Errorf("counter after 5 cycles = %d, want 5", v)
+	}
+	s.Run(4)
+	if v, _ := s.ReadOutput("c"); v != 1 {
+		t.Errorf("counter after 9 cycles = %d, want 1 (wrap)", v)
+	}
+}
+
+func TestBridgingFaultWiredAND(t *testing.T) {
+	// Two independent buffers y1=a, y2=b; bridge their outputs wired-AND.
+	n := netlist.New("br")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	y1 := n.AddGate(netlist.BUF, "", a)
+	y2 := n.AddGate(netlist.BUF, "", b)
+	n.AddOutput("y1", []netlist.NetID{y1})
+	n.AddOutput("y2", []netlist.NetID{y2})
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 0)
+	s.AddBridge(y1, y2, WiredAND)
+	s.Eval()
+	v1, _ := s.ReadOutput("y1")
+	v2, _ := s.ReadOutput("y2")
+	if v1 != 0 || v2 != 0 {
+		t.Errorf("wired-AND bridge: y1=%d y2=%d, want 0,0", v1, v2)
+	}
+	// Drivers both 1 -> bridge resolves 1.
+	s.SetInput("b", 1)
+	s.Eval()
+	if v, _ := s.ReadOutput("y1"); v != 1 {
+		t.Errorf("bridge should release when both drive 1, y1=%d", v)
+	}
+	s.RemoveBridges()
+	s.SetInput("b", 0)
+	s.Eval()
+	if v, _ := s.ReadOutput("y1"); v != 1 {
+		t.Errorf("after RemoveBridges y1=%d, want 1", v)
+	}
+}
+
+func TestBridgingFaultWiredOR(t *testing.T) {
+	n := netlist.New("br")
+	a := n.AddInput("a", 1)[0]
+	b := n.AddInput("b", 1)[0]
+	y1 := n.AddGate(netlist.BUF, "", a)
+	y2 := n.AddGate(netlist.BUF, "", b)
+	n.AddOutput("y2", []netlist.NetID{y2})
+	_ = y1
+	s, _ := New(n)
+	s.SetInput("a", 1)
+	s.SetInput("b", 0)
+	s.AddBridge(y1, y2, WiredOR)
+	s.Eval()
+	if v, _ := s.ReadOutput("y2"); v != 1 {
+		t.Errorf("wired-OR bridge: y2=%d, want 1", v)
+	}
+}
+
+func TestBridgeFeedbackOscillationGoesX(t *testing.T) {
+	// y = NOT(x); bridge x and y wired-OR with x driven 0: drive(y)=1 =>
+	// forced x=1 => drive(y)=0 => oscillates => X.
+	n := netlist.New("osc")
+	a := n.AddInput("a", 1)[0]
+	x := n.AddGate(netlist.BUF, "", a)
+	y := n.AddGate(netlist.NOT, "", x)
+	n.AddOutput("y", []netlist.NetID{y})
+	s, _ := New(n)
+	s.SetInput("a", 0)
+	s.AddBridge(x, y, WiredOR)
+	s.Eval()
+	if _, hasX := s.ReadOutput("y"); !hasX {
+		v, _ := s.ReadOutput("y")
+		t.Errorf("oscillating bridge should yield X, got %d", v)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+// Value is a three-valued logic level: 0, 1 or X (unknown).
+type Value uint8
+
+// Logic levels. VX models unknown/corrupted values (uninitialized state,
+// bridged nets with conflicting drivers, delay faults).
+const (
+	V0 Value = 0
+	V1 Value = 1
+	VX Value = 2
+)
+
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// FromBool converts a bool to a Value.
+func FromBool(b bool) Value {
+	if b {
+		return V1
+	}
+	return V0
+}
+
+// Known reports whether v is 0 or 1.
+func (v Value) Known() bool { return v != VX }
+
+// Inv returns the Kleene complement.
+func (v Value) Inv() Value {
+	switch v {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	default:
+		return VX
+	}
+}
+
+// and2 and or2 and xor2 implement Kleene 3-valued logic.
+func and2(a, b Value) Value {
+	if a == V0 || b == V0 {
+		return V0
+	}
+	if a == VX || b == VX {
+		return VX
+	}
+	return V1
+}
+
+func or2(a, b Value) Value {
+	if a == V1 || b == V1 {
+		return V1
+	}
+	if a == VX || b == VX {
+		return VX
+	}
+	return V0
+}
+
+func xor2(a, b Value) Value {
+	if a == VX || b == VX {
+		return VX
+	}
+	return a ^ b
+}

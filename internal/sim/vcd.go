@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// VCDRecorder streams selected nets of a simulation to a Value Change
+// Dump file, the waveform format every HDL debugger reads — the "look
+// at what the fault actually did" tool of the validation flow.
+type VCDRecorder struct {
+	s   *Simulator
+	w   *bufio.Writer
+	ids map[netlist.NetID]string
+	// last holds the previously dumped value per net ('0','1','x').
+	last    map[netlist.NetID]byte
+	nets    []netlist.NetID
+	started bool
+	err     error
+}
+
+// NewVCDRecorder prepares a recorder over the given nets (nil = all
+// named nets plus all port nets). Call Sample after each Step, then
+// Close.
+func NewVCDRecorder(s *Simulator, w io.Writer, nets []netlist.NetID) *VCDRecorder {
+	n := s.Netlist()
+	if nets == nil {
+		seen := map[netlist.NetID]bool{}
+		add := func(id netlist.NetID) {
+			if !seen[id] {
+				seen[id] = true
+				nets = append(nets, id)
+			}
+		}
+		for _, p := range n.Inputs {
+			for _, id := range p.Nets {
+				add(id)
+			}
+		}
+		for _, p := range n.Outputs {
+			for _, id := range p.Nets {
+				add(id)
+			}
+		}
+		for i := range n.FFs {
+			add(n.FFs[i].Q)
+		}
+		sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+	}
+	return &VCDRecorder{
+		s:    s,
+		w:    bufio.NewWriter(w),
+		ids:  make(map[netlist.NetID]string, len(nets)),
+		last: make(map[netlist.NetID]byte, len(nets)),
+		nets: nets,
+	}
+}
+
+// vcdID converts an index into the VCD short-identifier alphabet.
+func vcdID(i int) string {
+	const alpha = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz"
+	var b strings.Builder
+	for {
+		b.WriteByte(alpha[i%len(alpha)])
+		i /= len(alpha)
+		if i == 0 {
+			return b.String()
+		}
+	}
+}
+
+func (r *VCDRecorder) header() {
+	n := r.s.Netlist()
+	fmt.Fprintf(r.w, "$date today $end\n$version repro soc-fmea $end\n$timescale 1ns $end\n")
+	fmt.Fprintf(r.w, "$scope module %s $end\n", strings.ReplaceAll(n.Name, " ", "_"))
+	for i, id := range r.nets {
+		code := vcdID(i)
+		r.ids[id] = code
+		name := strings.NewReplacer(" ", "_", "[", "_", "]", "", "/", ".").Replace(n.NetName(id))
+		fmt.Fprintf(r.w, "$var wire 1 %s %s $end\n", code, name)
+	}
+	fmt.Fprintf(r.w, "$upscope $end\n$enddefinitions $end\n")
+}
+
+func valChar(v Value) byte {
+	switch v {
+	case V0:
+		return '0'
+	case V1:
+		return '1'
+	default:
+		return 'x'
+	}
+}
+
+// Sample dumps the changes since the previous sample at the simulator's
+// current cycle.
+func (r *VCDRecorder) Sample() {
+	if r.err != nil {
+		return
+	}
+	if !r.started {
+		r.header()
+		r.started = true
+	}
+	wroteTime := false
+	for _, id := range r.nets {
+		c := valChar(r.s.Net(id))
+		if prev, ok := r.last[id]; ok && prev == c {
+			continue
+		}
+		if !wroteTime {
+			fmt.Fprintf(r.w, "#%d\n", r.s.Cycle())
+			wroteTime = true
+		}
+		fmt.Fprintf(r.w, "%c%s\n", c, r.ids[id])
+		r.last[id] = c
+	}
+}
+
+// Close flushes the stream and returns any accumulated error.
+func (r *VCDRecorder) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestVCDRecorder(t *testing.T) {
+	n := netlist.New("vcd test")
+	d := n.AddInput("d", 1)
+	_, q := n.AddFF("state", "", d[0], netlist.InvalidNet, false)
+	n.AddOutput("q", []netlist.NetID{q})
+	s, _ := New(n)
+
+	var buf bytes.Buffer
+	rec := NewVCDRecorder(s, &buf, nil)
+	s.SetInput("d", 1)
+	s.Eval()
+	rec.Sample()
+	s.Step()
+	rec.Sample()
+	s.SetInput("d", 0)
+	s.Eval()
+	s.Step()
+	rec.Sample()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale", "$scope module vcd_test", "$var wire 1", "state",
+		"$enddefinitions", "#0", "#1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Value lines: at least one '1' and one '0' change for the state var.
+	if !strings.Contains(out, "1") || !strings.Contains(out, "0") {
+		t.Error("no value changes recorded")
+	}
+	// Unchanged nets must not be re-dumped: count lines starting with '#'.
+	times := strings.Count(out, "#")
+	if times < 2 {
+		t.Errorf("expected at least 2 timestamps, got %d", times)
+	}
+}
+
+func TestVCDExplicitNets(t *testing.T) {
+	n := netlist.New("v")
+	a := n.AddInput("a", 2)
+	x := n.AddGate(netlist.XOR, "", a[0], a[1])
+	n.AddOutput("x", []netlist.NetID{x})
+	s, _ := New(n)
+	var buf bytes.Buffer
+	rec := NewVCDRecorder(s, &buf, []netlist.NetID{x})
+	s.SetInput("a", 1)
+	s.Eval()
+	rec.Sample()
+	rec.Close()
+	if got := strings.Count(buf.String(), "$var"); got != 1 {
+		t.Errorf("vars = %d, want 1", got)
+	}
+}
+
+func TestVCDIDAlphabet(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,278 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestTraceAddHoldsValues(t *testing.T) {
+	tr := NewTrace("a", "b")
+	tr.Add(map[string]uint64{"a": 3, "b": 7})
+	tr.Add(map[string]uint64{"a": 4})
+	tr.AddIdle(2)
+	if tr.Cycles() != 4 {
+		t.Fatalf("Cycles = %d", tr.Cycles())
+	}
+	if tr.Value(1, "b") != 7 {
+		t.Errorf("b not held: %d", tr.Value(1, "b"))
+	}
+	if tr.Value(3, "a") != 4 {
+		t.Errorf("idle did not hold a: %d", tr.Value(3, "a"))
+	}
+}
+
+func TestTraceUnknownPortPanics(t *testing.T) {
+	tr := NewTrace("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown port did not panic")
+		}
+	}()
+	tr.Add(map[string]uint64{"zz": 1})
+}
+
+func TestTraceApplyTo(t *testing.T) {
+	n := netlist.New("d")
+	a := n.AddInput("a", 4)
+	n.AddOutput("y", a)
+	s, _ := sim.New(n)
+	tr := NewTrace("a")
+	tr.Add(map[string]uint64{"a": 9})
+	tr.ApplyTo(s, 0)
+	s.Eval()
+	if v, _ := s.ReadOutput("y"); v != 9 {
+		t.Errorf("applied value = %d", v)
+	}
+}
+
+func TestTraceConcat(t *testing.T) {
+	a := NewTrace("p")
+	a.Add(map[string]uint64{"p": 1})
+	b := NewTrace("p")
+	b.Add(map[string]uint64{"p": 2})
+	a.Concat(b)
+	if a.Cycles() != 2 || a.Value(1, "p") != 2 {
+		t.Error("Concat failed")
+	}
+	c := NewTrace("q")
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat over different ports did not panic")
+		}
+	}()
+	a.Concat(c)
+}
+
+func TestRandomTraceDeterministic(t *testing.T) {
+	w := map[string]int{"a": 8, "b": 3}
+	t1 := Random(xrand.New(1), []string{"a", "b"}, w, 50)
+	t2 := Random(xrand.New(1), []string{"a", "b"}, w, 50)
+	for c := 0; c < 50; c++ {
+		if t1.Value(c, "a") != t2.Value(c, "a") || t1.Value(c, "b") != t2.Value(c, "b") {
+			t.Fatal("random trace not deterministic")
+		}
+		if t1.Value(c, "b") >= 8 {
+			t.Fatalf("width not respected: b = %d", t1.Value(c, "b"))
+		}
+	}
+}
+
+func TestMarchCMinusStructure(t *testing.T) {
+	words := 8
+	ops := MarchCMinus(words, 0, 8)
+	// w0*N + 4 elements of (r,w)*N + r0*N = N + 8N + N = 10N
+	if len(ops) != 10*words {
+		t.Fatalf("March C- length = %d, want %d", len(ops), 10*words)
+	}
+	// First element: all writes of background.
+	for i := 0; i < words; i++ {
+		if ops[i].Kind != OpWrite || ops[i].Data != 0 {
+			t.Fatalf("op %d = %+v, want write 0", i, ops[i])
+		}
+	}
+	// Second element starts with read at address 0.
+	if ops[words].Kind != OpRead || ops[words].Addr != 0 {
+		t.Errorf("element 2 start = %+v", ops[words])
+	}
+	// Fourth element (index 3N..5N) runs descending.
+	first := ops[5*words]
+	if first.Addr != uint64(words-1) {
+		t.Errorf("descending element starts at %d", first.Addr)
+	}
+	// Data background/complement masked to width.
+	for _, op := range ops {
+		if op.Data > 0xFF {
+			t.Fatalf("data exceeds width: %#x", op.Data)
+		}
+	}
+}
+
+// marchSimulate runs a March sequence against a behavioral memory with an
+// injected fault and reports whether any read observes wrong data. This
+// is a semantic check: March C- must detect all single stuck-at cells.
+func marchDetects(ops []MemOp, faultAddr uint64, stuckBit uint64, stuckVal uint64) bool {
+	mem := map[uint64]uint64{}
+	apply := func(a uint64) {
+		if v, ok := mem[a]; ok && a == faultAddr {
+			if stuckVal == 1 {
+				mem[a] = v | stuckBit
+			} else {
+				mem[a] = v &^ stuckBit
+			}
+		}
+	}
+	for _, op := range ops {
+		switch op.Kind {
+		case OpWrite:
+			mem[op.Addr] = op.Data
+			apply(op.Addr)
+		case OpRead:
+			if got, ok := mem[op.Addr]; ok && got != op.Data {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestMarchCMinusDetectsStuckAtCells(t *testing.T) {
+	ops := MarchCMinus(16, 0, 8)
+	for addr := uint64(0); addr < 16; addr++ {
+		for bit := 0; bit < 8; bit++ {
+			if !marchDetects(ops, addr, 1<<uint(bit), 0) {
+				t.Fatalf("March C- missed SA0 at addr %d bit %d", addr, bit)
+			}
+			if !marchDetects(ops, addr, 1<<uint(bit), 1) {
+				t.Fatalf("March C- missed SA1 at addr %d bit %d", addr, bit)
+			}
+		}
+	}
+}
+
+func TestMarchXStructure(t *testing.T) {
+	ops := MarchX(4, 0, 8)
+	// N + 2N + 2N + N = 6N
+	if len(ops) != 24 {
+		t.Fatalf("March X length = %d, want 24", len(ops))
+	}
+	if !marchDetects(ops, 2, 0x10, 1) {
+		t.Error("March X missed a stuck-at-1 cell")
+	}
+}
+
+func TestCheckerboard(t *testing.T) {
+	ops := Checkerboard(4, 8)
+	if len(ops) != 8 {
+		t.Fatalf("checkerboard length = %d", len(ops))
+	}
+	if ops[0].Data == ops[1].Data {
+		t.Error("adjacent addresses share pattern")
+	}
+	if ops[4].Kind != OpRead || ops[4].Data != ops[0].Data {
+		t.Error("read-back phase mismatched")
+	}
+}
+
+func TestWalkingOnes(t *testing.T) {
+	ops := WalkingOnes(2, 4)
+	if len(ops) != 4*2*2 {
+		t.Fatalf("walking ones length = %d", len(ops))
+	}
+	seen := map[uint64]bool{}
+	for _, op := range ops {
+		if op.Kind == OpWrite {
+			seen[op.Data] = true
+		}
+	}
+	for bit := 0; bit < 4; bit++ {
+		if !seen[1<<uint(bit)] {
+			t.Errorf("pattern %#x never written", 1<<uint(bit))
+		}
+	}
+}
+
+func TestRandomOps(t *testing.T) {
+	rng := xrand.New(3)
+	ops := RandomOps(rng, 200, 16, 8, 0.5)
+	if len(ops) != 200 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	writes := 0
+	for _, op := range ops {
+		if op.Addr >= 16 {
+			t.Fatalf("addr out of range: %d", op.Addr)
+		}
+		if op.Kind == OpWrite {
+			writes++
+			if op.Data > 0xFF {
+				t.Fatalf("data out of width: %#x", op.Data)
+			}
+		}
+	}
+	if writes < 60 || writes > 140 {
+		t.Errorf("write mix off: %d/200", writes)
+	}
+}
+
+func TestOpsToTrace(t *testing.T) {
+	ops := []MemOp{
+		{OpWrite, 5, 0xAB},
+		{OpRead, 5, 0},
+		{OpIdle, 0, 0},
+	}
+	tr := OpsToTrace(ops, MemPorts{Req: "req", WE: "we", Addr: "addr", WData: "wdata", GapCycles: 1})
+	// 3 ops * 2 cycles (op+gap) + 2 trailing idle = 8
+	if tr.Cycles() != 8 {
+		t.Fatalf("cycles = %d", tr.Cycles())
+	}
+	if tr.Value(0, "req") != 1 || tr.Value(0, "we") != 1 || tr.Value(0, "addr") != 5 || tr.Value(0, "wdata") != 0xAB {
+		t.Error("write op misrendered")
+	}
+	if tr.Value(1, "req") != 0 {
+		t.Error("gap cycle still requesting")
+	}
+	if tr.Value(2, "req") != 1 || tr.Value(2, "we") != 0 {
+		t.Error("read op misrendered")
+	}
+	if tr.Value(4, "req") != 0 {
+		t.Error("idle op requested")
+	}
+}
+
+func TestOpsToTraceWithPriv(t *testing.T) {
+	tr := OpsToTrace([]MemOp{{OpRead, 1, 0}},
+		MemPorts{Req: "req", WE: "we", Addr: "addr", WData: "wdata", Priv: "priv", PrivValue: 1})
+	if tr.Value(0, "priv") != 1 {
+		t.Error("priv not driven")
+	}
+}
+
+func TestMarchSS(t *testing.T) {
+	words := 8
+	ops := MarchSS(words, 0, 8)
+	// N + 4 elements of 5N + N = 22N.
+	if len(ops) != 22*words {
+		t.Fatalf("March SS length = %d, want %d", len(ops), 22*words)
+	}
+	// Detects all single stuck-at cells (strictly stronger than March X).
+	for addr := uint64(0); addr < uint64(words); addr++ {
+		for bit := 0; bit < 8; bit++ {
+			if !marchDetects(ops, addr, 1<<uint(bit), 0) || !marchDetects(ops, addr, 1<<uint(bit), 1) {
+				t.Fatalf("March SS missed a stuck cell at %d/%d", addr, bit)
+			}
+		}
+	}
+	// Double reads exist (read-destructive fault pattern).
+	doubles := 0
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Kind == OpRead && ops[i-1].Kind == OpRead && ops[i].Addr == ops[i-1].Addr {
+			doubles++
+		}
+	}
+	if doubles == 0 {
+		t.Error("March SS has no back-to-back reads")
+	}
+}

@@ -1,0 +1,88 @@
+package xrand
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	if New(42).Uint64() == c.Uint64() {
+		t.Error("different seeds produced identical first draw")
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestBitsWidth(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100; i++ {
+		if v := r.Bits(5); v >= 32 {
+			t.Fatalf("Bits(5) = %d", v)
+		}
+	}
+	if r.Bits(0) != 0 {
+		t.Error("Bits(0) != 0")
+	}
+	_ = r.Bits(64) // must not panic
+	_ = r.Bits(80) // clamped
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolMixes(t *testing.T) {
+	r := New(3)
+	trues := 0
+	for i := 0; i < 1000; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if trues < 400 || trues > 600 {
+		t.Errorf("Bool heavily biased: %d/1000 true", trues)
+	}
+}

@@ -1,0 +1,162 @@
+package zones
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/randckt"
+)
+
+// TestConeSoundness: on random circuits, every gate in a zone's cone
+// must actually reach one of the zone's seed nets through combinational
+// paths, and every cone leaf must be a non-gate source.
+func TestConeSoundness(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		n := randckt.Generate(randckt.Default(), seed)
+		a, err := Extract(n, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Forward reachability per net: which seeds can it reach
+		// combinationally?
+		readers := map[netlist.NetID][]*netlist.Gate{}
+		for i := range n.Gates {
+			for _, in := range n.Gates[i].Inputs {
+				readers[in] = append(readers[in], &n.Gates[i])
+			}
+		}
+		for zi := range a.Zones {
+			z := &a.Zones[zi]
+			seedSet := map[netlist.NetID]bool{}
+			for _, s := range z.Seeds {
+				seedSet[s] = true
+			}
+			for _, gid := range a.Cones[zi].Gates {
+				if !reachesSeed(n, readers, n.Gates[gid].Output, seedSet, map[netlist.NetID]bool{}) {
+					t.Fatalf("seed %d zone %q: cone gate %d cannot reach any seed",
+						seed, z.Name, gid)
+				}
+			}
+			for _, leaf := range a.Cones[zi].Leaves {
+				if _, isGate := n.DriverGate(leaf); isGate {
+					t.Fatalf("seed %d zone %q: leaf %d is gate-driven", seed, z.Name, leaf)
+				}
+			}
+		}
+	}
+}
+
+func reachesSeed(n *netlist.Netlist, readers map[netlist.NetID][]*netlist.Gate, net netlist.NetID, seeds map[netlist.NetID]bool, seen map[netlist.NetID]bool) bool {
+	if seeds[net] {
+		return true
+	}
+	if seen[net] {
+		return false
+	}
+	seen[net] = true
+	for _, g := range readers[net] {
+		if reachesSeed(n, readers, g.Output, seeds, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSharedGatesSymmetricAndBounded on random circuits.
+func TestSharedGatesSymmetricAndBounded(t *testing.T) {
+	n := randckt.Generate(randckt.Default(), 33)
+	a, err := Extract(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(a.Zones); i++ {
+		for j := i; j < len(a.Zones); j++ {
+			ij := a.SharedGates(i, j)
+			ji := a.SharedGates(j, i)
+			if ij != ji {
+				t.Fatalf("SharedGates asymmetric: %d vs %d", ij, ji)
+			}
+			if i == j && ij != len(a.Cones[i].Gates) {
+				t.Fatalf("self-overlap %d != cone size %d", ij, len(a.Cones[i].Gates))
+			}
+			if ij > len(a.Cones[i].Gates) || ij > len(a.Cones[j].Gates) {
+				t.Fatal("shared exceeds cone size")
+			}
+		}
+	}
+}
+
+// TestEffectsPartition: main and secondary effect sets never overlap,
+// and all referenced observation points exist.
+func TestEffectsPartition(t *testing.T) {
+	for seed := uint64(40); seed <= 48; seed++ {
+		n := randckt.Generate(randckt.Default(), seed)
+		a, err := Extract(n, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for zi := range a.Zones {
+			main := map[int]bool{}
+			for _, o := range a.MainEffects(zi) {
+				if o < 0 || o >= len(a.Obs) {
+					t.Fatalf("main effect %d out of range", o)
+				}
+				main[o] = true
+			}
+			for _, o := range a.SecondaryEffects(zi) {
+				if o < 0 || o >= len(a.Obs) {
+					t.Fatalf("secondary effect %d out of range", o)
+				}
+				if main[o] {
+					t.Fatalf("seed %d zone %d: obs %d is both main and secondary", seed, zi, o)
+				}
+			}
+		}
+	}
+}
+
+// TestGateTouchConsistent: zoneTouch equals the recount over cones of
+// classified kinds.
+func TestGateTouchConsistent(t *testing.T) {
+	n := randckt.Generate(randckt.Default(), 55)
+	a, err := Extract(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recount := make([]int, len(n.Gates))
+	for zi := range a.Zones {
+		switch a.Zones[zi].Kind {
+		case Register, Output, CriticalNet:
+			for _, g := range a.Cones[zi].Gates {
+				recount[g]++
+			}
+		}
+	}
+	for gi := range n.Gates {
+		if got := a.GateTouch(netlist.GateID(gi)); got != recount[gi] {
+			t.Fatalf("gate %d touch %d != recount %d", gi, got, recount[gi])
+		}
+	}
+}
+
+// TestFunctionalReachSupersetOfOutputs: every net of a functional
+// observation point must be functional-reaching; diagnostic-only ports
+// must not be (on a design that has both kinds).
+func TestFunctionalReachSupersetOfOutputs(t *testing.T) {
+	n := randckt.Generate(randckt.Default(), 66)
+	a, err := Extract(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := a.FunctionalReachNets()
+	for _, o := range a.Obs {
+		if o.Kind != Functional {
+			continue
+		}
+		for _, id := range o.Nets {
+			if !reach[id] {
+				t.Fatalf("functional obs net %d not marked reaching", id)
+			}
+		}
+	}
+}
