@@ -11,8 +11,11 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"reflect"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/faultsim"
@@ -551,6 +554,110 @@ func BenchmarkE14_SynthVariants(b *testing.B) {
 		_ = sffFor(memsys.HsiaoB)
 	}
 	b.ReportMetric(delta*1000, "deltaSFF_milli")
+}
+
+// ---------- E15: parallel campaign engine throughput ----------
+
+// BenchmarkE15_ParallelCampaign measures the worker-pool campaign
+// runner against the serial path on the reduced 64-word campaign. The
+// merge is deterministic, so every worker count must reproduce the
+// serial report bit-for-bit; the custom metrics report experiments/sec
+// and speedup vs the measured serial baseline. Wall-clock speedup
+// requires real cores: on a single-CPU host all worker counts converge
+// to ~1×.
+func BenchmarkE15_ParallelCampaign(b *testing.B) {
+	c2 := campaign(b, true)
+	plan := inject.BuildPlan(c2.an, c2.golden, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 1})
+	plan = append(plan, inject.WidePlan(c2.an, c2.golden, 12, 2)...)
+
+	start := time.Now()
+	serialRep, err := c2.target.Run(c2.golden, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialPerExp := time.Since(start).Seconds() / float64(len(plan))
+	once("E15", func() {
+		fmt.Printf("\n[E15] parallel campaign engine: %d experiments, serial baseline %.1f exp/s\n",
+			len(plan), 1/serialPerExp)
+		fmt.Printf("[E15] on GOMAXPROCS=%d (deterministic merge: reports bit-identical at any width)\n",
+			runtime.GOMAXPROCS(0))
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := c2.target.RunParallel(c2.golden, plan, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && !reflect.DeepEqual(rep, serialRep) {
+					b.Fatal("parallel report differs from serial")
+				}
+			}
+			perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
+			b.ReportMetric(1/perExp, "exp/s")
+			b.ReportMetric(serialPerExp/perExp, "speedup")
+		})
+	}
+}
+
+// ---------- E16: parallel gate-level fault simulation ----------
+
+// BenchmarkE16_ParallelFaultSim shards the E8 codec campaign's 64-lane
+// chunks across engine clones, reporting faults/sec and speedup vs the
+// measured serial baseline.
+func BenchmarkE16_ParallelFaultSim(b *testing.B) {
+	n, err := memsys.BuildCodecBench(memsys.V2Config())
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := faults.StuckAtUniverse(n)
+	eng, err := faultsim.New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := memsys.CodecVectors(memsys.V2Config(), 600, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var funcObs, diag []netlist.NetID
+	for _, port := range []string{"dout", "enc"} {
+		if p, ok := n.FindOutput(port); ok {
+			funcObs = append(funcObs, p.Nets...)
+		}
+	}
+	for _, port := range []string{"alarm_single", "alarm_double", "alarm_in_addr", "alarm_in_check"} {
+		if p, ok := n.FindOutput(port); ok {
+			diag = append(diag, p.Nets...)
+		}
+	}
+	start := time.Now()
+	serial, err := eng.Run(tr, funcObs, diag, u.Reps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialPerFault := time.Since(start).Seconds() / float64(len(u.Reps))
+	once("E16", func() {
+		fmt.Printf("\n[E16] parallel fault simulation: %d collapsed stuck-ats in %d-fault chunks,\n",
+			len(u.Reps), 63)
+		fmt.Printf("[E16] serial baseline %.0f faults/s on GOMAXPROCS=%d\n",
+			1/serialPerFault, runtime.GOMAXPROCS(0))
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eng.RunParallel(tr, funcObs, diag, u.Reps, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && !reflect.DeepEqual(res, serial) {
+					b.Fatal("parallel result differs from serial")
+				}
+			}
+			perFault := b.Elapsed().Seconds() / float64(b.N*len(u.Reps))
+			b.ReportMetric(1/perFault, "faults/s")
+			b.ReportMetric(serialPerFault/perFault, "speedup")
+		})
+	}
 }
 
 // ---------- X1 (extension): the fault-robust microcontroller direction —

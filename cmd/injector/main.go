@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/fit"
 	"repro/internal/inject"
@@ -26,6 +27,7 @@ func main() {
 	permanent := flag.Int("permanent", 2, "permanent experiments per zone")
 	wide := flag.Int("wide", 12, "wide/global fault experiments")
 	seed := flag.Uint64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
 	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
 	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
 	flag.Parse()
@@ -49,6 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 	target := d.InjectionTargetSeeded(a, d.SeedFaults())
+	target.Workers = *workers
 	tr := d.ValidationWorkload(*words, *seed)
 	fmt.Printf("%s: workload %d cycles, %d zones\n", cfg.Name, tr.Cycles(), len(a.Zones))
 
@@ -65,7 +68,13 @@ func main() {
 	pcfg := inject.PlanConfig{TransientPerZone: *transient, PermanentPerZone: *permanent, Seed: *seed}
 	plan := inject.BuildPlan(a, g, pcfg)
 	plan = append(plan, inject.WidePlan(a, g, *wide, *seed+1)...)
-	fmt.Printf("running %d injection experiments...\n", len(plan))
+	effective := *workers
+	if effective == 0 {
+		effective = 1
+	} else if effective < 0 {
+		effective = runtime.NumCPU()
+	}
+	fmt.Printf("running %d injection experiments on %d worker(s)...\n", len(plan), effective)
 	rep, err := target.Run(g, plan)
 	if err != nil {
 		log.Fatal(err)

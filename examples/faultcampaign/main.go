@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/fit"
 	"repro/internal/inject"
@@ -28,6 +29,9 @@ func main() {
 		log.Fatal(err)
 	}
 	target := d.InjectionTargetSeeded(a, d.SeedFaults())
+	// Shard the campaign across every core; the deterministic merge
+	// keeps the report identical to a serial run.
+	target.Workers = runtime.NumCPU()
 
 	// Environment builder + operational profiler.
 	tr := d.ValidationWorkload(6, 1)

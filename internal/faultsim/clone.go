@@ -1,0 +1,95 @@
+package faultsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/workload"
+)
+
+// Clone returns an engine over the same netlist with fresh mutable
+// state (lane values, FF state, fault masks). The netlist and its
+// levelized order are shared read-only, so clones are cheap and may
+// simulate concurrently with the original and with each other. Clone
+// must not be called while a pass is in flight on the receiver.
+func (e *Engine) Clone() *Engine {
+	return &Engine{
+		n:      e.n,
+		order:  e.order,
+		values: make([]uint64, len(e.values)),
+		state:  make([]uint64, len(e.state)),
+		netOr:  make(map[netlist.NetID]uint64),
+		netClr: make(map[netlist.NetID]uint64),
+		pin:    make(map[netlist.GateID][]pinMask),
+	}
+}
+
+// RunParallel is Run with the 64-lane chunks sharded across workers
+// engine clones. The fault list is cut into the same chunks as the
+// serial path (base += 63 in list order) and each worker claims chunks
+// from an atomic cursor, writing verdicts into disjoint regions of the
+// per-fault array — the result is identical to Run for any worker
+// count. workers <= 0 selects runtime.NumCPU().
+func (e *Engine) RunParallel(tr *workload.Trace, funcObs, diagObs []netlist.NetID, list []faults.Fault, workers int) (Result, error) {
+	for _, f := range list {
+		if f.Kind != faults.SA0 && f.Kind != faults.SA1 {
+			return Result{}, fmt.Errorf("faultsim: unsupported fault kind %v (only stuck-at)", f.Kind)
+		}
+	}
+	res := Result{PerFault: make([]Detection, len(list)), Total: len(list)}
+	nchunks := (len(list) + lanesPerPass - 1) / lanesPerPass
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if nchunks > 0 {
+		portNets := e.resolvePorts(tr)
+		if workers <= 1 {
+			for base := 0; base < len(list); base += lanesPerPass {
+				hi := min(base+lanesPerPass, len(list))
+				e.runChunk(tr, portNets, funcObs, diagObs, list[base:hi], res.PerFault[base:hi])
+			}
+		} else {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				eng := e
+				if w > 0 {
+					eng = e.Clone()
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						ci := int(cursor.Add(1)) - 1
+						if ci >= nchunks {
+							return
+						}
+						base := ci * lanesPerPass
+						hi := min(base+lanesPerPass, len(list))
+						eng.runChunk(tr, portNets, funcObs, diagObs, list[base:hi], res.PerFault[base:hi])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	for _, d := range res.PerFault {
+		if d.Func {
+			res.FuncDet++
+		}
+		if d.Diag {
+			res.DiagDet++
+		}
+		if d.Func || d.Diag {
+			res.AnyDet++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package faultsim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/randckt"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// cloneFixture builds a random circuit large enough for several 64-lane
+// chunks, its collapsed stuck-at universe, and a random stimulus.
+func cloneFixture(t *testing.T) (*Engine, *workload.Trace, []faults.Fault, []faults.Fault, []faults.Fault) {
+	t.Helper()
+	cfg := randckt.Default()
+	cfg.Gates = 90
+	n := randckt.Generate(cfg, 7)
+	u := faults.StuckAtUniverse(n)
+	if len(u.Reps) <= 2*lanesPerPass {
+		t.Fatalf("fixture too small: %d collapsed faults, need > %d", len(u.Reps), 2*lanesPerPass)
+	}
+	eng, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Random(xrand.New(99), []string{"in"}, map[string]int{"in": 6}, 30)
+	// Split at a chunk boundary so the serial run over the full list
+	// forms exactly the chunks the two halves see.
+	cut := 2 * lanesPerPass
+	return eng, tr, u.Reps, u.Reps[:cut], u.Reps[cut:]
+}
+
+// TestCloneDisjointChunksConcurrent: two clones fault-simulating
+// disjoint chunk-aligned halves of the universe concurrently must
+// reproduce exactly what one engine concludes running the whole list
+// serially.
+func TestCloneDisjointChunksConcurrent(t *testing.T) {
+	eng, tr, all, lo, hi := cloneFixture(t)
+	out, _ := eng.n.FindOutput("out")
+
+	serial, err := eng.Run(tr, out.Nets, nil, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c1, c2 := eng.Clone(), eng.Clone()
+	var wg sync.WaitGroup
+	var resLo, resHi Result
+	var errLo, errHi error
+	wg.Add(2)
+	go func() { defer wg.Done(); resLo, errLo = c1.Run(tr, out.Nets, nil, lo) }()
+	go func() { defer wg.Done(); resHi, errHi = c2.Run(tr, out.Nets, nil, hi) }()
+	wg.Wait()
+	if errLo != nil || errHi != nil {
+		t.Fatalf("clone runs failed: %v / %v", errLo, errHi)
+	}
+
+	got := append(append([]Detection{}, resLo.PerFault...), resHi.PerFault...)
+	if !reflect.DeepEqual(got, serial.PerFault) {
+		t.Fatal("concurrent clones over disjoint chunks differ from one serial engine")
+	}
+	if resLo.AnyDet+resHi.AnyDet != serial.AnyDet {
+		t.Fatalf("detection tallies drifted: %d+%d != %d", resLo.AnyDet, resHi.AnyDet, serial.AnyDet)
+	}
+}
+
+// TestRunParallelMatchesRun: the chunk-sharded runner must return the
+// exact serial result for any worker count.
+func TestRunParallelMatchesRun(t *testing.T) {
+	eng, tr, all, _, _ := cloneFixture(t)
+	out, _ := eng.n.FindOutput("out")
+	serial, err := eng.Run(tr, out.Nets, nil, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := eng.RunParallel(tr, out.Nets, nil, all, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: parallel result differs from serial", workers)
+		}
+	}
+}
+
+// TestCloneIndependentMasks: installing masks on a clone must not leak
+// into the original (the mutable state is what made the engine
+// unshareable before Clone existed).
+func TestCloneIndependentMasks(t *testing.T) {
+	eng, _, all, _, _ := cloneFixture(t)
+	c := eng.Clone()
+	c.installMasks(all[:lanesPerPass])
+	if len(eng.netOr) != 0 || len(eng.netClr) != 0 || len(eng.pin) != 0 {
+		t.Fatal("clone masks leaked into the original engine")
+	}
+	c.clearMasks()
+	if len(c.netOr) != 0 || len(c.netClr) != 0 || len(c.pin) != 0 {
+		t.Fatal("clearMasks left residue on the clone")
+	}
+}

@@ -109,41 +109,41 @@ func (r Result) DiagOfDangerous() float64 {
 
 // Run simulates the fault list against the workload trace, observing
 // funcObs (functional outputs) and diagObs (alarms). Only stuck-at
-// faults (net or pin site) are accepted.
+// faults (net or pin site) are accepted. Run is serial; RunParallel
+// shards the 64-lane chunks across engine clones with an identical
+// result.
 func (e *Engine) Run(tr *workload.Trace, funcObs, diagObs []netlist.NetID, list []faults.Fault) (Result, error) {
-	for _, f := range list {
-		if f.Kind != faults.SA0 && f.Kind != faults.SA1 {
-			return Result{}, fmt.Errorf("faultsim: unsupported fault kind %v (only stuck-at)", f.Kind)
-		}
+	return e.RunParallel(tr, funcObs, diagObs, list, 1)
+}
+
+// runChunk simulates one chunk of up to 63 faults and records the
+// per-fault verdicts into per[base:base+len(chunk)].
+func (e *Engine) runChunk(tr *workload.Trace, portNets [][]netlist.NetID, funcObs, diagObs []netlist.NetID, chunk []faults.Fault, per []Detection) {
+	funcMask, diagMask := e.runPass(tr, portNets, funcObs, diagObs, chunk)
+	for i := range chunk {
+		lane := uint(i + 1)
+		per[i].Func = funcMask>>lane&1 == 1
+		per[i].Diag = diagMask>>lane&1 == 1
 	}
-	res := Result{PerFault: make([]Detection, len(list)), Total: len(list)}
-	for base := 0; base < len(list); base += lanesPerPass {
-		chunk := list[base:min(base+lanesPerPass, len(list))]
-		funcMask, diagMask := e.runPass(tr, funcObs, diagObs, chunk)
-		for i := range chunk {
-			lane := uint(i + 1)
-			d := &res.PerFault[base+i]
-			d.Func = funcMask>>lane&1 == 1
-			d.Diag = diagMask>>lane&1 == 1
+}
+
+// resolvePorts maps the trace's input ports onto netlist nets once per
+// campaign; the result is shared read-only across workers.
+func (e *Engine) resolvePorts(tr *workload.Trace) [][]netlist.NetID {
+	portNets := make([][]netlist.NetID, len(tr.Ports))
+	for i, name := range tr.Ports {
+		p, ok := e.n.FindInput(name)
+		if !ok {
+			panic(fmt.Sprintf("faultsim: trace port %q not an input of %q", name, e.n.Name))
 		}
+		portNets[i] = p.Nets
 	}
-	for _, d := range res.PerFault {
-		if d.Func {
-			res.FuncDet++
-		}
-		if d.Diag {
-			res.DiagDet++
-		}
-		if d.Func || d.Diag {
-			res.AnyDet++
-		}
-	}
-	return res, nil
+	return portNets
 }
 
 // runPass simulates golden + one chunk of faults through the full trace,
 // returning lane masks of func/diag detections.
-func (e *Engine) runPass(tr *workload.Trace, funcObs, diagObs []netlist.NetID, chunk []faults.Fault) (funcMask, diagMask uint64) {
+func (e *Engine) runPass(tr *workload.Trace, portNets [][]netlist.NetID, funcObs, diagObs []netlist.NetID, chunk []faults.Fault) (funcMask, diagMask uint64) {
 	e.installMasks(chunk)
 	defer e.clearMasks()
 
@@ -155,14 +155,6 @@ func (e *Engine) runPass(tr *workload.Trace, funcObs, diagObs []netlist.NetID, c
 		} else {
 			e.state[i] = 0
 		}
-	}
-	portNets := make([][]netlist.NetID, len(tr.Ports))
-	for i, name := range tr.Ports {
-		p, ok := n.FindInput(name)
-		if !ok {
-			panic(fmt.Sprintf("faultsim: trace port %q not an input of %q", name, n.Name))
-		}
-		portNets[i] = p.Nets
 	}
 	next := make([]uint64, len(n.FFs))
 	for cycle := 0; cycle < tr.Cycles(); cycle++ {
@@ -323,11 +315,4 @@ func (e *Engine) evalGate(g *netlist.Gate) uint64 {
 
 func broadcastLane0(w uint64) uint64 {
 	return (w & 1) * ^uint64(0)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -29,8 +29,14 @@ import (
 type Target struct {
 	Analysis *zones.Analysis
 	// NewInstance returns a ready simulator; called once for the golden
-	// run and once per injection.
+	// run and once per injection. When Workers != 0 it is called from
+	// several goroutines concurrently, so the factory must not share
+	// mutable state between instances.
 	NewInstance func() (*sim.Simulator, error)
+	// Workers shards Run across this many goroutines (0 = serial,
+	// negative = runtime.NumCPU()); the merged report is bit-identical
+	// to the serial one for any value. See RunParallel.
+	Workers int
 }
 
 // obsTrace is the recorded (value, xmask) stream of one observation

@@ -1,0 +1,133 @@
+package inject
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/zones"
+)
+
+// covIndex maps observation-point indices onto the coverage item arrays
+// (functional OBSE items vs diagnostic DIAG items). It is derived once
+// per campaign and shared read-only by the merge path.
+type covIndex struct {
+	funcIdx []int
+	diagIdx []int
+}
+
+// newReport allocates an empty campaign report with the coverage item
+// arrays sized for the analysis, plus the observation-point index used
+// to merge experiment results into it.
+func newReport(a *zones.Analysis) (*Report, covIndex) {
+	rep := &Report{}
+	rep.Coverage.SensZones = make([]bool, len(a.Zones))
+	var ci covIndex
+	for oi := range a.Obs {
+		if a.Obs[oi].Kind == zones.Diagnostic {
+			ci.diagIdx = append(ci.diagIdx, oi)
+		} else {
+			ci.funcIdx = append(ci.funcIdx, oi)
+		}
+	}
+	rep.Coverage.ObseSeen = make([]bool, len(ci.funcIdx))
+	rep.Coverage.DiagSeen = make([]bool, len(ci.diagIdx))
+	return rep, ci
+}
+
+// absorb folds one experiment result into the report: the result list
+// and the SENS/OBSE/DIAG coverage items. Results must be absorbed in
+// plan order — the runner guarantees that regardless of worker count,
+// which is what makes the parallel report bit-identical to the serial
+// one.
+func (rep *Report) absorb(res ExpResult, ci covIndex) {
+	rep.Results = append(rep.Results, res)
+	if res.Sens {
+		rep.Coverage.SensZones[res.Zone] = true
+	}
+	for _, oi := range res.Deviated {
+		rep.Coverage.Mismatches++
+		for fi, idx := range ci.funcIdx {
+			if idx == oi {
+				rep.Coverage.ObseSeen[fi] = true
+			}
+		}
+		for di, idx := range ci.diagIdx {
+			if idx == oi {
+				rep.Coverage.DiagSeen[di] = true
+			}
+		}
+	}
+}
+
+// RunParallel executes the injection campaign sharded across workers
+// goroutines. Each worker claims experiments from a shared atomic
+// cursor (dynamic load balancing — wide permanent faults simulate the
+// whole trace while late transients are cheap), runs each one on a
+// fresh simulator instance from t.NewInstance, and reads the shared
+// golden traces strictly read-only. Results land in a preallocated
+// slice indexed by plan position and are merged in plan order, so the
+// report is bit-identical to the serial Run for any worker count.
+//
+// workers <= 0 selects runtime.NumCPU(); workers == 1 runs inline with
+// no goroutines (the serial path). On failure the error of the
+// lowest-index failing experiment is returned, matching serial
+// semantics: the cursor hands out indices in ascending order, so the
+// first failing index is always claimed and executed before the abort
+// flag can stop any later one.
+func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(plan) {
+		workers = maxInt(1, len(plan))
+	}
+	a := t.Analysis
+	rep, ci := newReport(a)
+	if workers == 1 {
+		for _, inj := range plan {
+			res, err := t.runOne(g, inj)
+			if err != nil {
+				return nil, fmt.Errorf("inject: %s: %w", inj.Describe(a), err)
+			}
+			rep.absorb(res, ci)
+		}
+		return rep, nil
+	}
+
+	results := make([]ExpResult, len(plan))
+	errs := make([]error, len(plan))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(plan) || failed.Load() {
+					return
+				}
+				res, err := t.runOne(g, plan[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("inject: %s: %w", plan[i].Describe(a), err)
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, res := range results {
+		rep.absorb(res, ci)
+	}
+	return rep, nil
+}

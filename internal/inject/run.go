@@ -1,8 +1,6 @@
 package inject
 
 import (
-	"fmt"
-
 	"repro/internal/faults"
 	"repro/internal/zones"
 )
@@ -96,46 +94,16 @@ type Report struct {
 
 // Run executes the injection campaign: one golden-aligned faulty
 // simulation per planned injection, with the SENS/OBSE/DIAG monitors
-// and coverage collection of Fig. 4.
+// and coverage collection of Fig. 4. With Target.Workers unset (0) the
+// campaign runs serially; any other value shards it across that many
+// goroutines via RunParallel, whose merge keeps the report
+// bit-identical to the serial order.
 func (t *Target) Run(g *Golden, plan []Injection) (*Report, error) {
-	a := t.Analysis
-	rep := &Report{}
-	rep.Coverage.SensZones = make([]bool, len(a.Zones))
-	funcIdx, diagIdx := []int{}, []int{}
-	for oi := range a.Obs {
-		if a.Obs[oi].Kind == zones.Diagnostic {
-			diagIdx = append(diagIdx, oi)
-		} else {
-			funcIdx = append(funcIdx, oi)
-		}
+	workers := t.Workers
+	if workers == 0 {
+		workers = 1
 	}
-	rep.Coverage.ObseSeen = make([]bool, len(funcIdx))
-	rep.Coverage.DiagSeen = make([]bool, len(diagIdx))
-
-	for _, inj := range plan {
-		res, err := t.runOne(g, inj)
-		if err != nil {
-			return nil, fmt.Errorf("inject: %s: %w", inj.Describe(a), err)
-		}
-		rep.Results = append(rep.Results, res)
-		if res.Sens {
-			rep.Coverage.SensZones[inj.Zone] = true
-		}
-		for _, oi := range res.Deviated {
-			rep.Coverage.Mismatches++
-			for fi, idx := range funcIdx {
-				if idx == oi {
-					rep.Coverage.ObseSeen[fi] = true
-				}
-			}
-			for di, idx := range diagIdx {
-				if idx == oi {
-					rep.Coverage.DiagSeen[di] = true
-				}
-			}
-		}
-	}
-	return rep, nil
+	return t.RunParallel(g, plan, workers)
 }
 
 // RunOne executes a single injection experiment against the golden
