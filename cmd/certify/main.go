@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/drc"
 	"repro/internal/frcpu"
 	"repro/internal/iec61508"
 	"repro/internal/inject"
@@ -68,6 +69,9 @@ func main() {
 		log.Fatalf("unknown design %q", *design)
 	}
 
+	// The DRC pre-flight is mandatory: a report that grades SIL over a
+	// netlist with error-level findings says so in the report body, and
+	// the command refuses the certification exit code.
 	allMet := true
 	for _, dut := range duts {
 		as, err := core.Run(dut, opts)
@@ -80,7 +84,11 @@ func main() {
 			fmt.Println(as.SRS())
 		}
 		fmt.Println()
-		allMet = allMet && as.TargetMet
+		if !as.DRCClean() {
+			log.Printf("%s: DRC pre-flight found %d error-level violation(s); grade is conditional",
+				as.Name, as.DRC.Count(drc.Error))
+		}
+		allMet = allMet && as.TargetMet && as.DRCClean()
 	}
 	if !allMet {
 		os.Exit(1)

@@ -1,0 +1,151 @@
+// Command drc runs the static design-rule-check engine over a design's
+// (netlist, zones, worksheet) triple without simulating a cycle: the
+// pre-flight gate the certification flow requires before any injection
+// campaign spends cycles on an inconsistent design.
+//
+// Output is an aligned text report or stable JSON (-json). The exit
+// code is 1 when any finding reaches the -severity threshold (default
+// error), 0 otherwise, and 2 on usage errors — so the command slots
+// directly into CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/drc"
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/frcpu"
+	"repro/internal/memsys"
+	"repro/internal/netlist"
+	"repro/internal/randckt"
+	"repro/internal/zones"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drc: ")
+	design := flag.String("design", "v2", "design: v1, v2, cpu, cpu-lockstep or rand")
+	addrWidth := flag.Int("addr", 8, "address width for the memory sub-system designs")
+	seed := flag.Uint64("seed", 1, "seed for -design rand")
+	jsonOut := flag.Bool("json", false, "emit stable JSON instead of text")
+	sevFlag := flag.String("severity", "error", "exit non-zero at or above this severity (info, warn, error)")
+	rulesFlag := flag.String("rules", "", "comma-separated rule IDs to run (default all)")
+	skipFlag := flag.String("skip", "", "comma-separated rule IDs to skip")
+	corr := flag.Float64("corr", 0, "zone-correlation Jaccard threshold (0 = default)")
+	fitTol := flag.Float64("fit-tol", 0, "FIT conservation relative tolerance (0 = default)")
+	noWorksheet := flag.Bool("no-worksheet", false, "check only the netlist and zone layers")
+	flag.Parse()
+
+	threshold, err := drc.ParseSeverity(*sevFlag)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	cfg := drc.DefaultConfig()
+	if *corr > 0 {
+		cfg.CorrelationJaccard = *corr
+	}
+	if *fitTol > 0 {
+		cfg.FITTolerance = *fitTol
+	}
+	cfg.Rules = splitList(*rulesFlag)
+	cfg.Skip = splitList(*skipFlag)
+
+	in, err := buildInput(*design, *addrWidth, *seed, !*noWorksheet)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	res, err := drc.Run(in, cfg)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		out, err := res.JSON()
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Print(res.Render())
+	}
+	if res.CountAtLeast(threshold) > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// buildInput assembles the check triple for a named design. The rand
+// design exercises the netlist and zone layers only: random circuits
+// carry no curated worksheet.
+func buildInput(design string, addrWidth int, seed uint64, withWorksheet bool) (drc.Input, error) {
+	rates := fit.Default()
+	var (
+		n *netlist.Netlist
+		a *zones.Analysis
+		w *fmea.Worksheet
+	)
+	switch design {
+	case "v1", "v2":
+		cfg := memsys.V1Config()
+		if design == "v2" {
+			cfg = memsys.V2Config()
+		}
+		cfg.AddrWidth = addrWidth
+		d, err := memsys.Build(cfg)
+		if err != nil {
+			return drc.Input{}, err
+		}
+		n = d.N
+		if a, err = d.Analyze(); err != nil {
+			return drc.Input{}, err
+		}
+		if withWorksheet {
+			w = d.Worksheet(a, rates)
+		}
+	case "cpu", "cpu-lockstep":
+		cfg := frcpu.PlainConfig()
+		if design == "cpu-lockstep" {
+			cfg = frcpu.LockstepConfig()
+		}
+		d, err := frcpu.Build(cfg)
+		if err != nil {
+			return drc.Input{}, err
+		}
+		n = d.N
+		if a, err = d.Analyze(); err != nil {
+			return drc.Input{}, err
+		}
+		if withWorksheet {
+			w = d.Worksheet(a, rates)
+		}
+	case "rand":
+		n = randckt.Generate(randckt.Default(), seed)
+		var err error
+		if a, err = zones.Extract(n, zones.DefaultConfig()); err != nil {
+			return drc.Input{}, err
+		}
+	default:
+		return drc.Input{}, fmt.Errorf("unknown design %q (want v1, v2, cpu, cpu-lockstep or rand)", design)
+	}
+	return drc.Input{Netlist: n, Analysis: a, Worksheet: w, Rates: &rates}, nil
+}

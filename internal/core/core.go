@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/drc"
 	"repro/internal/fit"
 	"repro/internal/fmea"
 	"repro/internal/iec61508"
@@ -48,6 +49,11 @@ type Options struct {
 	TargetSIL iec61508.SIL
 	// Sensitivity span factor for the assumption battery.
 	Span float64
+	// SkipDRC disables the mandatory static DRC pre-flight (tests only;
+	// a certification run always checks the triple before grading).
+	SkipDRC bool
+	// DRC tunes the pre-flight rule thresholds and selection.
+	DRC drc.Config
 	// Validation controls.
 	RunValidation   bool
 	Plan            inject.PlanConfig
@@ -64,6 +70,7 @@ func DefaultOptions() Options {
 		HFT:             0,
 		TargetSIL:       iec61508.SIL3,
 		Span:            2,
+		DRC:             drc.DefaultConfig(),
 		RunValidation:   true,
 		Plan:            inject.DefaultPlanConfig(),
 		WideFaults:      16,
@@ -89,15 +96,25 @@ type Validation struct {
 
 // Assessment is the flow's output: the safety case for one design.
 type Assessment struct {
-	Name        string
-	Analysis    *zones.Analysis
-	Worksheet   *fmea.Worksheet
+	Name      string
+	Analysis  *zones.Analysis
+	Worksheet *fmea.Worksheet
+	// DRC is the static pre-flight result (nil when Options.SkipDRC).
+	// Error-level findings do not abort the flow — the assessor wants
+	// the full picture — but the report marks every grade conditional.
+	DRC         *drc.Result
 	Metrics     fmea.Metrics
 	SIL         iec61508.SIL
 	TargetSIL   iec61508.SIL
 	TargetMet   bool
 	Sensitivity fmea.Sensitivity
 	Validation  *Validation
+}
+
+// DRCClean reports whether the pre-flight ran and found no error-level
+// violations (vacuously true when skipped).
+func (as *Assessment) DRCClean() bool {
+	return as.DRC == nil || as.DRC.Clean()
 }
 
 // Run executes the flow over a DUT.
@@ -118,6 +135,14 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 		Sensitivity: w.SpanAssumptions(opts.Span),
 	}
 	as.TargetMet = as.SIL >= opts.TargetSIL
+	if !opts.SkipDRC {
+		as.DRC, err = drc.Run(drc.Input{
+			Netlist: a.N, Analysis: a, Worksheet: w, Rates: &opts.Rates,
+		}, opts.DRC)
+		if err != nil {
+			return nil, fmt.Errorf("core: DRC pre-flight: %w", err)
+		}
+	}
 	if !opts.RunValidation {
 		return as, nil
 	}
@@ -182,6 +207,20 @@ func (as *Assessment) Report() string {
 	fmt.Fprintf(&b, "Target %v: %s\n", as.TargetSIL, verdict(as.TargetMet))
 	fmt.Fprintf(&b, "Sensitivity: SFF in [%.4f, %.4f] (spread %.4f) across %d spans\n",
 		as.Sensitivity.MinSFF, as.Sensitivity.MaxSFF, as.Sensitivity.Spread(), len(as.Sensitivity.Cases))
+
+	if as.DRC != nil {
+		fmt.Fprintf(&b, "\n--- Static DRC pre-flight ---\n")
+		fmt.Fprintf(&b, "findings: %s: %s\n", as.DRC.Summary(), verdict(as.DRC.Clean()))
+		if !as.DRC.Clean() {
+			fmt.Fprintf(&b, "!! the SIL grade above is CONDITIONAL: the design triple has error-level DRC violations\n")
+			for i := range as.DRC.Findings {
+				f := &as.DRC.Findings[i]
+				if f.Severity == drc.Error {
+					fmt.Fprintf(&b, "  [%s] %s: %s\n", f.Rule, f.Loc, f.Message)
+				}
+			}
+		}
+	}
 
 	rt := report.NewTable("\nTop criticality ranking (by λDU)", "#", "zone", "λDU [FIT]", "share")
 	for i, zr := range as.Worksheet.Ranking() {

@@ -141,3 +141,45 @@ func TestSRSDocument(t *testing.T) {
 		}
 	}
 }
+
+// TestDRCPreflightEmbedded asserts the static DRC runs as part of the
+// flow by default, its summary lands in the report, and SkipDRC removes
+// it — the contract cmd/certify's conditional-grade logic depends on.
+func TestDRCPreflightEmbedded(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RunValidation = false
+	as, err := Run(flowDUT(t, true, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.DRC == nil {
+		t.Fatal("assessment has no DRC result")
+	}
+	if !as.DRCClean() {
+		t.Fatalf("v2 DRC pre-flight not clean:\n%s", as.DRC.Render())
+	}
+	if len(as.DRC.Ran) == 0 {
+		t.Fatal("DRC ran no rules")
+	}
+	rep := as.Report()
+	for _, want := range []string{"Static DRC pre-flight", as.DRC.Summary()} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	opts.SkipDRC = true
+	as, err = Run(flowDUT(t, true, 8), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.DRC != nil {
+		t.Error("DRC present despite SkipDRC")
+	}
+	if !as.DRCClean() {
+		t.Error("DRCClean must be vacuously true when skipped")
+	}
+	if strings.Contains(as.Report(), "Static DRC pre-flight") {
+		t.Error("report renders a DRC section for a skipped pre-flight")
+	}
+}

@@ -1,0 +1,330 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/netlist"
+	"repro/internal/zones"
+)
+
+// cleanTriple builds a minimal well-formed design: one register with an
+// XOR feedback cone, one functional output, and the generic worksheet
+// the builder derives from the analysis. Every rule must stay silent on
+// it.
+func cleanTriple(t *testing.T) Input {
+	t.Helper()
+	n := netlist.New("clean")
+	din := n.AddInput("din", 1)[0]
+	ff, q := n.AddFF("reg[0]", "CORE", din, netlist.InvalidNet, false)
+	x := n.AddGate(netlist.XOR, "CORE", q, din)
+	n.SetFFD(ff, x)
+	n.AddOutput("dout", []netlist.NetID{q})
+	a, err := zones.Extract(n, zones.DefaultConfig())
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	rates := fit.Default()
+	w := fmea.FromAnalysis(a, rates, nil)
+	return Input{Netlist: n, Analysis: a, Worksheet: w, Rates: &rates}
+}
+
+// runRule executes exactly one rule over the input.
+func runRule(t *testing.T, in Input, id string) *Result {
+	t.Helper()
+	res, err := Run(in, Config{Rules: []string{id}})
+	if err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	return res
+}
+
+// extract wraps zones.Extract for fixtures whose netlist is valid.
+func extract(t *testing.T, n *netlist.Netlist) *zones.Analysis {
+	t.Helper()
+	a, err := zones.Extract(n, zones.DefaultConfig())
+	if err != nil {
+		t.Fatalf("extract %s: %v", n.Name, err)
+	}
+	return a
+}
+
+// TestRulesFireOnViolation builds, per rule ID, a fixture seeding
+// exactly the defect the rule looks for and asserts the rule reports it.
+func TestRulesFireOnViolation(t *testing.T) {
+	rates := fit.Default()
+	cases := []struct {
+		rule  string
+		build func(t *testing.T) Input
+		want  string // substring of the expected message
+	}{
+		{"DRC-N001", func(t *testing.T) Input {
+			n := netlist.New("loop")
+			a0 := n.AddInput("a", 1)[0]
+			n1 := n.AddNet("n1")
+			n2 := n.AddNet("n2")
+			n.AddGateTo(netlist.AND, "B", n1, a0, n2)
+			n.AddGateTo(netlist.OR, "B", n2, n1, a0)
+			n.AddOutput("o", []netlist.NetID{n1})
+			return Input{Netlist: n}
+		}, "combinational loop"},
+		{"DRC-N002", func(t *testing.T) Input {
+			n := netlist.New("floating")
+			a0 := n.AddInput("a", 1)[0]
+			fl := n.AddNet("fl")
+			out := n.AddGate(netlist.AND, "B", a0, fl)
+			n.AddOutput("o", []netlist.NetID{out})
+			return Input{Netlist: n}
+		}, "undriven net fl"},
+		{"DRC-N003", func(t *testing.T) Input {
+			n := netlist.New("multidriven")
+			a0 := n.AddInput("a", 1)[0]
+			g0 := n.AddGate(netlist.NOT, "B", a0)
+			n.AddGate(netlist.BUF, "B", a0)
+			// Rewire the second gate onto the first gate's net, the way a
+			// buggy netlist writer shorts two drivers together.
+			n.Gates[1].Output = g0
+			n.AddOutput("o", []netlist.NetID{g0})
+			return Input{Netlist: n}
+		}, "2 drivers"},
+		{"DRC-N004", func(t *testing.T) Input {
+			n := netlist.New("stuckff")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, n.ConstNet(false), false)
+			n.AddOutput("o", []netlist.NetID{q})
+			return Input{Netlist: n}
+		}, "can never load"},
+		{"DRC-N005", func(t *testing.T) Input {
+			n := netlist.New("deadgate")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+			n.AddGate(netlist.AND, "B", din, q) // output read by nothing
+			n.AddOutput("o", []netlist.NetID{q})
+			return Input{Netlist: n}
+		}, "read by nothing"},
+		{"DRC-N006", func(t *testing.T) Input {
+			n := netlist.New("clkdata")
+			clk := n.AddInput("clk_div", 1)[0]
+			din := n.AddInput("din", 1)[0]
+			out := n.AddGate(netlist.AND, "B", clk, din)
+			n.AddOutput("o", []netlist.NetID{out})
+			return Input{Netlist: n}
+		}, "clock/reset-named net clk_div"},
+		{"DRC-Z001", func(t *testing.T) Input {
+			n := netlist.New("unowned")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+			n.AddGate(netlist.AND, "B", din, q) // in no owning cone
+			n.AddOutput("o", []netlist.NetID{q})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "no register/output/peripheral zone cone"},
+		{"DRC-Z002", func(t *testing.T) Input {
+			n := netlist.New("deadobs")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+			n.AddOutput("o", []netlist.NetID{q})
+			n.AddOutput("tied", []netlist.NetID{n.ConstNet(true)})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "unreachable from every sensible zone"},
+		{"DRC-Z003", func(t *testing.T) Input {
+			n := netlist.New("deadalarm")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+			n.AddOutput("o", []netlist.NetID{q})
+			n.AddOutput("alarm_tied", []netlist.NetID{n.ConstNet(false)})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "can never fire"},
+		{"DRC-Z004", func(t *testing.T) Input {
+			n := netlist.New("correlated")
+			din := n.AddInput("din", 1)[0]
+			s := n.AddGate(netlist.NOT, "B", din)
+			_, qa := n.AddFF("ra[0]", "B", s, netlist.InvalidNet, false)
+			_, qb := n.AddFF("rb[0]", "B", s, netlist.InvalidNet, false)
+			n.AddOutput("oa", []netlist.NetID{qa})
+			n.AddOutput("ob", []netlist.NetID{qb})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "one wide fault corrupts both"},
+		{"DRC-Z005", func(t *testing.T) Input {
+			n := netlist.New("diagshare")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+			n.AddOutput("dout", []netlist.NetID{q})
+			chk := n.AddGate(netlist.AND, "CHK", q, din)
+			n.AddOutput("alarm_x", []netlist.NetID{chk})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "feed only diagnostic observation points"},
+		{"DRC-W001", func(t *testing.T) Input {
+			in := cleanTriple(t)
+			// Claim coverage with no backing technique — bypasses AddRow's
+			// clamp the way a hand-edited spreadsheet would.
+			in.Worksheet.Rows[0].DDF.HWTransient = 0.99
+			return in
+		}, "exceeds the norm maximum"},
+		{"DRC-W002", func(t *testing.T) Input {
+			in := cleanTriple(t)
+			in.Worksheet.Rows[0].S = 1.5
+			return in
+		}, "outside [0,1]"},
+		{"DRC-W003", func(t *testing.T) Input {
+			in := cleanTriple(t)
+			for ri := range in.Worksheet.Rows {
+				in.Worksheet.Rows[ri].Lambda = fit.Contribution{}
+			}
+			return in
+		}, "FIT lost"},
+		{"DRC-W004", func(t *testing.T) Input {
+			in := cleanTriple(t)
+			in.Worksheet.Rows[0].Zone = 99
+			return in
+		}, "references zone 99"},
+		{"DRC-W005", func(t *testing.T) Input {
+			in := cleanTriple(t)
+			in.Worksheet.Rows = append(in.Worksheet.Rows, fmea.Row{
+				Zone: 0, ZoneName: in.Worksheet.Rows[0].ZoneName,
+				Spec: fmea.Spec{
+					Lambda:   fit.Contribution{Transient: 1},
+					Lifetime: 1,
+					DDF:      fmea.DDF{HWTransient: 1.5},
+				},
+			})
+			return in
+		}, "exceeds"},
+	}
+	if len(cases) != len(Registry()) {
+		t.Fatalf("%d fixtures for %d registered rules", len(cases), len(Registry()))
+	}
+	_ = rates
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			res := runRule(t, tc.build(t), tc.rule)
+			var hit bool
+			for i := range res.Findings {
+				f := &res.Findings[i]
+				if f.Rule != tc.rule {
+					t.Errorf("finding from unexpected rule %s: %s", f.Rule, f.Message)
+					continue
+				}
+				if strings.Contains(f.Message, tc.want) {
+					hit = true
+				}
+			}
+			if !hit {
+				t.Fatalf("rule %s did not fire (want message containing %q); findings: %v",
+					tc.rule, tc.want, res.Findings)
+			}
+		})
+	}
+}
+
+// TestRulesSilentOnClean runs the full registry over the clean triple:
+// no rule may report anything, at any severity.
+func TestRulesSilentOnClean(t *testing.T) {
+	res, err := Run(cleanTriple(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("clean triple produced findings: %s\n%s", res.Summary(), res.Render())
+	}
+	if len(res.Ran) != len(Registry()) || len(res.Skipped) != 0 {
+		t.Fatalf("ran %d skipped %d, want %d/0", len(res.Ran), len(res.Skipped), len(Registry()))
+	}
+}
+
+// TestSeverityOrdering pins the severity scale the exit-code threshold
+// arithmetic depends on.
+func TestSeverityOrdering(t *testing.T) {
+	if !(Info < Warning && Warning < Error) {
+		t.Fatal("severity scale must order info < warn < error")
+	}
+	for _, tc := range []struct {
+		in   string
+		want Severity
+	}{{"info", Info}, {"warn", Warning}, {"warning", Warning}, {"ERROR", Error}} {
+		got, err := ParseSeverity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity must reject unknown names")
+	}
+}
+
+// TestRuleSelection covers -rules/-skip plumbing and unknown-ID errors.
+func TestRuleSelection(t *testing.T) {
+	in := cleanTriple(t)
+	res, err := Run(in, Config{Rules: []string{"DRC-N001", "DRC-W005"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ran) != 2 || len(res.Skipped) != len(Registry())-2 {
+		t.Fatalf("ran %v skipped %v", res.Ran, res.Skipped)
+	}
+	res, err = Run(in, Config{Skip: []string{"DRC-Z004"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Ran {
+		if id == "DRC-Z004" {
+			t.Fatal("skipped rule still ran")
+		}
+	}
+	if _, err := Run(in, Config{Rules: []string{"DRC-X999"}}); err == nil {
+		t.Fatal("unknown rule ID must be an error")
+	}
+	if _, err := Run(in, Config{Skip: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown skip ID must be an error")
+	}
+}
+
+// TestMissingLayersSkip asserts rules degrade to skipped — not failed —
+// when the zone analysis or worksheet is absent.
+func TestMissingLayersSkip(t *testing.T) {
+	full := cleanTriple(t)
+	res, err := Run(Input{Netlist: full.Netlist}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Ran {
+		if strings.HasPrefix(id, "DRC-Z") || strings.HasPrefix(id, "DRC-W") {
+			t.Errorf("rule %s ran without its input layer", id)
+		}
+	}
+	if len(res.Ran) != 6 {
+		t.Fatalf("netlist-only run executed %v", res.Ran)
+	}
+	res, err = Run(Input{Netlist: full.Netlist, Analysis: full.Analysis, Worksheet: full.Worksheet}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Skipped {
+		if id != "DRC-W003" {
+			t.Errorf("unexpected skip without rates: %s", id)
+		}
+	}
+}
+
+// TestMaxPerRuleCap asserts the per-rule cap truncates and summarizes.
+func TestMaxPerRuleCap(t *testing.T) {
+	n := netlist.New("manydead")
+	din := n.AddInput("din", 1)[0]
+	_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+	for i := 0; i < 10; i++ {
+		n.AddGate(netlist.AND, "B", din, q)
+	}
+	n.AddOutput("o", []netlist.NetID{q})
+	res, err := Run(Input{Netlist: n}, Config{Rules: []string{"DRC-N005"}, MaxPerRule: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Findings); got != 4 { // 3 kept + 1 overflow note
+		t.Fatalf("findings = %d, want 4 (3 capped + summary)", got)
+	}
+	last := res.Findings[len(res.Findings)-1]
+	if last.Severity != Info || !strings.Contains(last.Message, "suppressed") {
+		t.Fatalf("missing overflow summary, got %+v", last)
+	}
+}

@@ -1,0 +1,94 @@
+package drc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/fit"
+	"repro/internal/memsys"
+	"repro/internal/randckt"
+	"repro/internal/zones"
+)
+
+// TestRandomCircuitsClean is the property test: a pruned random circuit
+// is a well-formed design by construction, so the netlist and zone
+// layers must report no error-level findings on it, across seeds. (The
+// prune matters: generation leaves dead gates behind, which legitimately
+// trip DRC-N005/Z001 — the engine treating those as findings on the
+// unpruned form is the behavior cmd/drc -design rand demonstrates.)
+func TestRandomCircuitsClean(t *testing.T) {
+	cfg := randckt.Default()
+	for seed := uint64(1); seed <= 25; seed++ {
+		n := randckt.Generate(cfg, seed)
+		n.Prune()
+		if err := n.Validate(); err != nil {
+			t.Fatalf("seed %d: pruned circuit invalid: %v", seed, err)
+		}
+		a, err := zones.Extract(n, zones.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: extract: %v", seed, err)
+		}
+		res, err := Run(Input{Netlist: n, Analysis: a}, Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Clean() {
+			t.Errorf("seed %d: %d error-level finding(s) on a clean random circuit:\n%s",
+				seed, res.Count(Error), res.Render())
+		}
+	}
+}
+
+// v2Input assembles the full triple for the protected memory sub-system.
+func v2Input(t *testing.T) Input {
+	t.Helper()
+	d, err := memsys.Build(memsys.V2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := fit.Default()
+	return Input{Netlist: d.N, Analysis: a, Worksheet: d.Worksheet(a, rates), Rates: &rates}
+}
+
+// TestV2MemsysGolden pins the engine's behavior on the real v2 design:
+// all rules run, zero errors (the design must certify), and the JSON
+// rendering is byte-stable across two fully independent runs — the
+// guarantee CI and report diffing rely on.
+func TestV2MemsysGolden(t *testing.T) {
+	run := func() (*Result, []byte) {
+		res, err := Run(v2Input(t), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, out
+	}
+	res1, out1 := run()
+	_, out2 := run()
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("JSON output not byte-stable across runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out1, out2)
+	}
+	if len(res1.Ran) != len(Registry()) || len(res1.Skipped) != 0 {
+		t.Fatalf("v2 run executed %d rules, skipped %v", len(res1.Ran), res1.Skipped)
+	}
+	if !res1.Clean() {
+		t.Fatalf("v2 memsys has error-level findings:\n%s", res1.Render())
+	}
+	// The JSON must round-trip: same finding count, same design name.
+	var back Result
+	if err := json.Unmarshal(out1, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Design != res1.Design || len(back.Findings) != len(res1.Findings) {
+		t.Fatalf("round-trip mismatch: %q/%d vs %q/%d",
+			back.Design, len(back.Findings), res1.Design, len(res1.Findings))
+	}
+}

@@ -1,0 +1,60 @@
+package drc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Render produces the aligned text form of the run: the rule catalog
+// hit counts and every finding, severest first within stable order.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DRC %s: %s\n", r.Design, r.Summary())
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, "skipped: %s\n", strings.Join(r.Skipped, ", "))
+	}
+	if len(r.Findings) == 0 {
+		b.WriteString("no findings\n")
+		return b.String()
+	}
+	b.WriteByte('\n')
+	t := report.NewTable("", "severity", "rule", "location", "message")
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		t.AddRow(f.Severity.String(), f.Rule, f.Loc.String(), f.Message)
+	}
+	b.WriteString(t.Render())
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if f.Hint != "" {
+			fmt.Fprintf(&b, "\nhint [%s]: %s", f.Rule, f.Hint)
+		}
+	}
+	if hasHints(r.Findings) {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func hasHints(fs []Finding) bool {
+	for i := range fs {
+		if fs[i].Hint != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// JSON renders the result as stable, indented JSON: struct field order
+// is fixed and finding order is the engine's deterministic order, so
+// equal inputs produce byte-equal output.
+func (r *Result) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

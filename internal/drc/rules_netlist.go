@@ -1,0 +1,379 @@
+package drc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+func init() {
+	register(Rule{
+		ID: "DRC-N001", Severity: Error, Layer: LayerNetlist,
+		Title: "combinational loop",
+		check: checkCombLoops,
+	})
+	register(Rule{
+		ID: "DRC-N002", Severity: Error, Layer: LayerNetlist,
+		Title: "floating (undriven) net read by logic",
+		check: checkFloatingNets,
+	})
+	register(Rule{
+		ID: "DRC-N003", Severity: Error, Layer: LayerNetlist,
+		Title: "multiply-driven net",
+		check: checkMultiDriven,
+	})
+	register(Rule{
+		ID: "DRC-N004", Severity: Warning, Layer: LayerNetlist,
+		Title: "flip-flop can never leave its reset value",
+		check: checkStuckFFs,
+	})
+	register(Rule{
+		ID: "DRC-N005", Severity: Warning, Layer: LayerNetlist,
+		Title: "dead gate (fanout-free but carries FIT)",
+		check: checkDeadGates,
+	})
+	register(Rule{
+		ID: "DRC-N006", Severity: Warning, Layer: LayerNetlist,
+		Title: "clock/reset net enters a data cone",
+		check: checkClockInData,
+	})
+}
+
+// structure is the raw netlist scan shared by the N-rules. It is built
+// from the exported slices only — deliberately not from the Netlist's
+// internal driver map — so the DRC validates what is actually there,
+// even for netlists assembled or mutated outside the build API.
+type structure struct {
+	driverCount []int // per net: gates + FFs + inputs + externals + consts
+	read        []bool
+}
+
+func scan(n *netlist.Netlist) *structure {
+	s := &structure{
+		driverCount: make([]int, len(n.Nets)),
+		read:        make([]bool, len(n.Nets)),
+	}
+	drive := func(id netlist.NetID) {
+		if id >= 0 && int(id) < len(s.driverCount) {
+			s.driverCount[id]++
+		}
+	}
+	read := func(id netlist.NetID) {
+		if id >= 0 && int(id) < len(s.read) {
+			s.read[id] = true
+		}
+	}
+	for i := range n.Gates {
+		drive(n.Gates[i].Output)
+		for _, in := range n.Gates[i].Inputs {
+			read(in)
+		}
+	}
+	for i := range n.FFs {
+		drive(n.FFs[i].Q)
+		read(n.FFs[i].D)
+		if n.FFs[i].Enable != netlist.InvalidNet {
+			read(n.FFs[i].Enable)
+		}
+	}
+	for _, p := range n.Inputs {
+		for _, id := range p.Nets {
+			drive(id)
+		}
+	}
+	for _, p := range n.Externals {
+		for _, id := range p.Nets {
+			drive(id)
+		}
+	}
+	if n.Const0 != netlist.InvalidNet {
+		drive(n.Const0)
+	}
+	if n.Const1 != netlist.InvalidNet {
+		drive(n.Const1)
+	}
+	for _, p := range n.Outputs {
+		for _, id := range p.Nets {
+			read(id)
+		}
+	}
+	for _, id := range n.Kept() {
+		read(id)
+	}
+	return s
+}
+
+// checkCombLoops finds strongly connected components in the gate graph
+// (gate → gate reading its output). Any SCC of size > 1, or a gate
+// feeding itself, is a combinational loop: under the X-pessimistic
+// 3-valued evaluation every gate type in the loop can latch or
+// oscillate, so the loop is reported regardless of gate types.
+func checkCombLoops(c *ctx) {
+	n := c.in.Netlist
+	readers := make(map[netlist.NetID][]int32, len(n.Nets))
+	for i := range n.Gates {
+		for _, in := range n.Gates[i].Inputs {
+			readers[in] = append(readers[in], int32(i))
+		}
+	}
+	// Iterative Tarjan over gates.
+	const unvisited = -1
+	index := make([]int32, len(n.Gates))
+	low := make([]int32, len(n.Gates))
+	onStack := make([]bool, len(n.Gates))
+	for i := range index {
+		index[i] = unvisited
+	}
+	var next int32
+	var sccStack []int32
+	type frame struct {
+		v    int32
+		edge int
+	}
+	var sccs [][]int32
+	selfLoop := make([]bool, len(n.Gates))
+	succ := func(v int32) []int32 { return readers[n.Gates[v].Output] }
+	for start := range n.Gates {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: int32(start)}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				sccStack = append(sccStack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			edges := succ(v)
+			for f.edge < len(edges) {
+				w := edges[f.edge]
+				f.edge++
+				if w == v {
+					selfLoop[v] = true
+				}
+				if index[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int32
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 || selfLoop[v] {
+					sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+					sccs = append(sccs, comp)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	for _, comp := range sccs {
+		names := make([]string, 0, len(comp))
+		for _, g := range comp {
+			if len(names) == 8 {
+				names = append(names, fmt.Sprintf("… %d more", len(comp)-8))
+				break
+			}
+			names = append(names, fmt.Sprintf("g%d(%s)", n.Gates[g].ID, n.Gates[g].Type))
+		}
+		g0 := &n.Gates[comp[0]]
+		c.report(gateLoc(n, g0),
+			fmt.Sprintf("combinational loop through %d gate(s): %s", len(comp), strings.Join(names, ", ")),
+			"break the loop with a flip-flop or rewrite the feedback as registered state")
+	}
+}
+
+// checkFloatingNets flags gate/FF/output reads of nets nothing drives.
+func checkFloatingNets(c *ctx) {
+	n := c.in.Netlist
+	s := scan(n)
+	bad := func(id netlist.NetID) bool {
+		return id < 0 || int(id) >= len(n.Nets) || s.driverCount[id] == 0
+	}
+	describe := func(id netlist.NetID) string {
+		if id < 0 || int(id) >= len(n.Nets) {
+			return fmt.Sprintf("nonexistent net %d", id)
+		}
+		return "undriven net " + n.NetName(id)
+	}
+	netName := func(id netlist.NetID) string {
+		if id < 0 || int(id) >= len(n.Nets) {
+			return fmt.Sprintf("n%d", id)
+		}
+		return n.NetName(id)
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		for pin, in := range g.Inputs {
+			if bad(in) {
+				loc := gateLoc(n, g)
+				loc.Net = netName(in)
+				c.report(loc,
+					fmt.Sprintf("gate g%d(%s) input %d reads %s", g.ID, g.Type, pin, describe(in)),
+					"every read net needs a gate, FF, port, constant or peripheral driver")
+			}
+		}
+	}
+	for i := range n.FFs {
+		ff := &n.FFs[i]
+		if bad(ff.D) {
+			c.report(Loc{Block: ff.Block, FF: ff.Name, Net: netName(ff.D)},
+				fmt.Sprintf("FF %q D pin reads %s", ff.Name, describe(ff.D)), "")
+		}
+		if ff.Enable != netlist.InvalidNet && bad(ff.Enable) {
+			c.report(Loc{Block: ff.Block, FF: ff.Name, Net: netName(ff.Enable)},
+				fmt.Sprintf("FF %q enable pin reads %s", ff.Name, describe(ff.Enable)), "")
+		}
+	}
+	for _, p := range n.Outputs {
+		for bit, id := range p.Nets {
+			if bad(id) {
+				c.report(Loc{Net: netName(id)},
+					fmt.Sprintf("output port %q bit %d reads %s", p.Name, bit, describe(id)), "")
+			}
+		}
+	}
+}
+
+// checkMultiDriven flags nets with more than one structural driver.
+func checkMultiDriven(c *ctx) {
+	n := c.in.Netlist
+	s := scan(n)
+	for id, cnt := range s.driverCount {
+		if cnt <= 1 {
+			continue
+		}
+		nid := netlist.NetID(id)
+		c.report(Loc{Net: n.NetName(nid)},
+			fmt.Sprintf("net %s has %d drivers", n.NetName(nid), cnt),
+			"contention is unresolvable in a single-driver gate model; mux the sources")
+	}
+}
+
+// checkStuckFFs flags registers that can never leave their reset value:
+// an enable tied to constant 0, or an enable-less FF whose D samples its
+// own Q. In the paper's flow every flip-flop is reached by the implicit
+// global reset; a never-loading register is this model's analog of a
+// reset-dead safety-path FF — its worksheet rows claim FIT for state
+// that cannot exist.
+func checkStuckFFs(c *ctx) {
+	n := c.in.Netlist
+	for i := range n.FFs {
+		ff := &n.FFs[i]
+		if ff.Enable != netlist.InvalidNet && ff.Enable == n.Const0 && n.Const0 != netlist.InvalidNet {
+			c.report(Loc{Block: ff.Block, FF: ff.Name},
+				fmt.Sprintf("FF %q enable is tied to constant 0: the register can never load", ff.Name),
+				"drop the register or wire a real enable condition")
+			continue
+		}
+		if ff.Enable == netlist.InvalidNet && ff.D == ff.Q {
+			c.report(Loc{Block: ff.Block, FF: ff.Name},
+				fmt.Sprintf("FF %q D is tied to its own Q with no enable: the register holds its reset value forever", ff.Name),
+				"")
+		}
+	}
+}
+
+// checkDeadGates flags gates whose output is read by nothing — dead
+// logic that synthesis would sweep but which still carries FIT into the
+// zone composition if left in.
+func checkDeadGates(c *ctx) {
+	n := c.in.Netlist
+	s := scan(n)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if s.read[g.Output] {
+			continue
+		}
+		c.report(gateLoc(n, g),
+			fmt.Sprintf("gate g%d(%s) output %s is read by nothing", g.ID, g.Type, n.NetName(g.Output)),
+			"run Prune() before zone extraction, or MarkKeep the net if a peripheral samples it")
+	}
+}
+
+// checkClockInData flags nets whose names identify them as clock or
+// reset distribution entering combinational data logic. The simulator's
+// clock and reset are implicit, so any explicitly modeled clk/rst net
+// feeding gates is either a naming accident or a gated-clock structure
+// the zone extractor would misclassify as data.
+func checkClockInData(c *ctx) {
+	n := c.in.Netlist
+	match := func(name string) bool {
+		for _, tok := range splitNameTokens(name) {
+			for _, pat := range c.cfg.ClockResetNames {
+				if tok == pat {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		for _, in := range g.Inputs {
+			if in < 0 || int(in) >= len(n.Nets) {
+				continue
+			}
+			name := n.Nets[in].Name
+			if name == "" || !match(name) {
+				continue
+			}
+			loc := gateLoc(n, g)
+			loc.Net = name
+			c.report(loc,
+				fmt.Sprintf("clock/reset-named net %s feeds data input of gate g%d(%s)", name, g.ID, g.Type),
+				"clock gating belongs in the FF enable; rename the net if it is genuinely data")
+		}
+	}
+}
+
+// splitNameTokens splits "wbuf_clk_div[3]" into ["wbuf","clk","div","3"],
+// lower-cased.
+func splitNameTokens(name string) []string {
+	var toks []string
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return toks
+}

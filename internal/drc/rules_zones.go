@@ -1,0 +1,213 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/zones"
+)
+
+func init() {
+	register(Rule{
+		ID: "DRC-Z001", Severity: Error, Layer: LayerZones,
+		Title: "gate owned by no sensible zone (FIT leakage)",
+		check: checkUnownedGates,
+	})
+	register(Rule{
+		ID: "DRC-Z002", Severity: Warning, Layer: LayerZones,
+		Title: "functional observation point unreachable from every zone",
+		check: checkUnreachableFunctionalObs,
+	})
+	register(Rule{
+		ID: "DRC-Z003", Severity: Error, Layer: LayerZones,
+		Title: "diagnostic observation point that can never fire",
+		check: checkDeadDiagnostics,
+	})
+	register(Rule{
+		ID: "DRC-Z004", Severity: Warning, Layer: LayerZones,
+		Title: "zone pair with wide-fault cone correlation",
+		check: checkCorrelatedZones,
+	})
+	register(Rule{
+		ID: "DRC-Z005", Severity: Info, Layer: LayerZones,
+		Title: "diagnostic-only logic share",
+		check: checkDiagnosticOnlyShare,
+	})
+}
+
+// owningKind reports whether the zone kind participates in FIT
+// ownership (mirrors fmea.OwnershipWeights: sub-block and critical-net
+// zones overlap register cones by construction and would double-count).
+func owningKind(k zones.Kind) bool {
+	return k == zones.Register || k == zones.Output || k == zones.Peripheral
+}
+
+// checkUnownedGates flags gates contained in no owning zone's fan-in
+// cone: their failure rate appears in no worksheet row, so the SoC-level
+// λ totals silently under-count — FIT leakage.
+func checkUnownedGates(c *ctx) {
+	a := c.in.Analysis
+	n := c.in.Netlist
+	owned := make([]bool, len(n.Gates))
+	for zi := range a.Zones {
+		if !owningKind(a.Zones[zi].Kind) {
+			continue
+		}
+		for _, g := range a.Cones[zi].Gates {
+			if int(g) < len(owned) {
+				owned[g] = true
+			}
+		}
+	}
+	for i := range n.Gates {
+		if owned[i] {
+			continue
+		}
+		g := &n.Gates[i]
+		c.report(gateLoc(n, g),
+			fmt.Sprintf("gate g%d(%s) sits in no register/output/peripheral zone cone: its FIT reaches no worksheet row", g.ID, g.Type),
+			"add an owning zone (output port, peripheral seed or register) over this logic, or prune it")
+	}
+}
+
+// checkUnreachableFunctionalObs flags functional observation points no
+// zone failure can ever reach, directly or through migration: they
+// observe nothing and inflate the campaign's observation surface.
+func checkUnreachableFunctionalObs(c *ctx) {
+	a := c.in.Analysis
+	for oi := range a.Obs {
+		if a.Obs[oi].Kind != zones.Functional {
+			continue
+		}
+		if obsReached(a, oi) {
+			continue
+		}
+		c.report(Loc{Obs: a.Obs[oi].Name},
+			fmt.Sprintf("functional observation point %q is unreachable from every sensible zone", a.Obs[oi].Name),
+			"check the port wiring; an unreachable output usually means a cone was severed")
+	}
+}
+
+// checkDeadDiagnostics flags diagnostic observation points (alarms) no
+// zone failure can reach: a diagnostic that can never fire. Worksheet
+// DDF claims backed by such an alarm are structurally void, which is
+// why this is error-level while the functional variant is a warning.
+func checkDeadDiagnostics(c *ctx) {
+	a := c.in.Analysis
+	for oi := range a.Obs {
+		if a.Obs[oi].Kind != zones.Diagnostic {
+			continue
+		}
+		if obsReached(a, oi) {
+			continue
+		}
+		c.report(Loc{Obs: a.Obs[oi].Name},
+			fmt.Sprintf("diagnostic observation point %q is reachable from no sensible zone: the alarm can never fire", a.Obs[oi].Name),
+			"wire the alarm into the checker outputs, or drop the DDF claims that cite it")
+	}
+}
+
+// obsReached reports whether any zone's main or secondary effects
+// include the observation point. The output-port zone auto-extracted
+// for the observed port itself is excluded: its effect nets ARE the
+// port nets, so it would "reach" the point trivially and mask ports
+// severed from the rest of the design.
+func obsReached(a *zones.Analysis, oi int) bool {
+	obsNets := make(map[netlist.NetID]bool, len(a.Obs[oi].Nets))
+	for _, id := range a.Obs[oi].Nets {
+		obsNets[id] = true
+	}
+	for zi := range a.Zones {
+		if isObsSelfZone(a, zi, obsNets) {
+			continue
+		}
+		for _, o := range a.MainEffects(zi) {
+			if o == oi {
+				return true
+			}
+		}
+		for _, o := range a.SecondaryEffects(zi) {
+			if o == oi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isObsSelfZone reports whether the zone is the Output zone extracted
+// for the observed port: output kind, with every seed among the
+// observation point's nets.
+func isObsSelfZone(a *zones.Analysis, zi int, obsNets map[netlist.NetID]bool) bool {
+	z := &a.Zones[zi]
+	if z.Kind != zones.Output || len(z.Seeds) == 0 {
+		return false
+	}
+	for _, id := range z.Seeds {
+		if !obsNets[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCorrelatedZones flags register-zone pairs whose fan-in cones are
+// near-identical (Jaccard index of shared cone gates above the
+// threshold). Such pairs fail together under a single wide fault — the
+// Fig. 2 multiple-failure pattern — which silently defeats any
+// redundancy claim built on them.
+func checkCorrelatedZones(c *ctx) {
+	a := c.in.Analysis
+	thr := c.cfg.CorrelationJaccard
+	for i := 0; i < len(a.Zones); i++ {
+		if a.Zones[i].Kind != zones.Register || len(a.Cones[i].Gates) == 0 {
+			continue
+		}
+		for j := i + 1; j < len(a.Zones); j++ {
+			if a.Zones[j].Kind != zones.Register || len(a.Cones[j].Gates) == 0 {
+				continue
+			}
+			shared := a.SharedGates(i, j)
+			union := len(a.Cones[i].Gates) + len(a.Cones[j].Gates) - shared
+			if union == 0 {
+				continue
+			}
+			jac := float64(shared) / float64(union)
+			if jac < thr {
+				continue
+			}
+			c.report(Loc{Zone: a.Zones[i].Name + " ~ " + a.Zones[j].Name},
+				fmt.Sprintf("register zones %q and %q share %d cone gates (Jaccard %.2f >= %.2f): one wide fault corrupts both",
+					a.Zones[i].Name, a.Zones[j].Name, shared, jac, thr),
+				"physically separate the cones, or rate the pair as a single zone in the wide-fault experiments")
+		}
+	}
+}
+
+// checkDiagnosticOnlyShare reports (info) how much of the gate count
+// exists only to feed diagnostics — checker comparators and alarm
+// conditioning with no functional reach. The share is legitimate in a
+// protected design but must be excluded from workload toggle targets,
+// so the engine surfaces it for the coverage bookkeeping.
+func checkDiagnosticOnlyShare(c *ctx) {
+	a := c.in.Analysis
+	n := c.in.Netlist
+	if len(n.Gates) == 0 {
+		return
+	}
+	reach := a.FunctionalReachNets()
+	count := 0
+	for i := range n.Gates {
+		out := n.Gates[i].Output
+		if int(out) < len(reach) && !reach[out] {
+			count++
+		}
+	}
+	if count == 0 {
+		return
+	}
+	c.report(Loc{},
+		fmt.Sprintf("%d of %d gates (%.1f%%) feed only diagnostic observation points",
+			count, len(n.Gates), 100*float64(count)/float64(len(n.Gates))),
+		"expected for checkers; exclude these gates from workload toggle-efficiency targets")
+}

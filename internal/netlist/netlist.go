@@ -8,6 +8,7 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -446,54 +447,55 @@ func (n *Netlist) Levelize() ([]GateID, error) {
 
 // Validate checks structural well-formedness: every gate/FF input net
 // exists and is driven, no net is driven twice (enforced at build time),
-// no combinational cycles, and every primary output is driven.
+// no combinational cycles, and every primary output is driven. All
+// structural violations are accumulated (errors.Join), so a single pass
+// reports the full list rather than the first hit.
 func (n *Netlist) Validate() error {
-	check := func(id NetID, what string) error {
+	var errs []error
+	check := func(id NetID, what string) {
 		if id < 0 || int(id) >= len(n.Nets) {
-			return fmt.Errorf("netlist %q: %s references nonexistent net %d", n.Name, what, id)
+			errs = append(errs, fmt.Errorf("netlist %q: %s references nonexistent net %d", n.Name, what, id))
+			return
 		}
 		ref, ok := n.driver[id]
 		if !ok || ref.kind == driverNone {
-			return fmt.Errorf("netlist %q: %s reads undriven net %s", n.Name, what, n.NetName(id))
+			errs = append(errs, fmt.Errorf("netlist %q: %s reads undriven net %s", n.Name, what, n.NetName(id)))
 		}
-		return nil
 	}
 	for i := range n.Gates {
 		g := &n.Gates[i]
 		for _, in := range g.Inputs {
-			if err := check(in, fmt.Sprintf("gate %d (%s)", g.ID, g.Type)); err != nil {
-				return err
-			}
+			check(in, fmt.Sprintf("gate %d (%s)", g.ID, g.Type))
 		}
 	}
 	for i := range n.FFs {
 		ff := &n.FFs[i]
-		if err := check(ff.D, fmt.Sprintf("FF %q D pin", ff.Name)); err != nil {
-			return err
-		}
+		check(ff.D, fmt.Sprintf("FF %q D pin", ff.Name))
 		if ff.Enable != InvalidNet {
-			if err := check(ff.Enable, fmt.Sprintf("FF %q enable pin", ff.Name)); err != nil {
-				return err
-			}
+			check(ff.Enable, fmt.Sprintf("FF %q enable pin", ff.Name))
 		}
 	}
 	for _, p := range n.Outputs {
 		for _, id := range p.Nets {
-			if err := check(id, fmt.Sprintf("output port %q", p.Name)); err != nil {
-				return err
-			}
+			check(id, fmt.Sprintf("output port %q", p.Name))
 		}
 	}
 	if _, err := n.Levelize(); err != nil {
-		return err
+		errs = append(errs, err)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // MarkKeep protects nets from dead-logic pruning even when no gate, FF
 // or port reads them — used for nets sampled by behavioral peripherals.
 func (n *Netlist) MarkKeep(nets ...NetID) {
 	n.keep = append(n.keep, nets...)
+}
+
+// Kept returns the nets protected by MarkKeep (peripheral-sampled nets).
+// Static analyses treat them as read.
+func (n *Netlist) Kept() []NetID {
+	return append([]NetID(nil), n.keep...)
 }
 
 // Prune removes gates whose outputs are transitively unread (dead

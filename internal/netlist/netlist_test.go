@@ -326,3 +326,40 @@ func TestPruneTransitiveChain(t *testing.T) {
 		t.Errorf("live chain pruned: removed = %d", removed)
 	}
 }
+
+func TestValidateAccumulatesAllViolations(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a", 1)[0]
+	f1 := n.AddNet("float1")
+	f2 := n.AddNet("float2")
+	g := n.AddGate(AND, "", a, f1)
+	n.AddFF("r[0]", "", f2, InvalidNet, false)
+	n.AddOutput("y", []NetID{g})
+	n.AddOutput("z", []NetID{n.AddNet("float3")})
+	err := n.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a netlist with three undriven reads")
+	}
+	for _, want := range []string{"float1", "float2", "float3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("accumulated error misses %s violation: %v", want, err)
+		}
+	}
+}
+
+func TestValidateKept(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a", 1)[0]
+	s := n.AddGate(NOT, "", a)
+	n.MarkKeep(s)
+	kept := n.Kept()
+	if len(kept) != 1 || kept[0] != s {
+		t.Fatalf("Kept() = %v, want [%d]", kept, s)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the
+	// netlist's keep set.
+	kept[0] = InvalidNet
+	if k := n.Kept(); len(k) != 1 || k[0] != s {
+		t.Fatalf("Kept() returned the internal slice")
+	}
+}

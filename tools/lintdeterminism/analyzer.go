@@ -1,0 +1,191 @@
+// Package main implements lintdeterminism, a custom static analyzer in
+// the shape of a go/analysis pass (self-contained so it builds without
+// golang.org/x/tools): it flags sources of run-to-run nondeterminism in
+// packages that feed reports, where byte-stable output is a contract —
+// the deterministic-merge guarantee of the campaign engine and the
+// byte-stable cmd/drc -json output both depend on it.
+//
+// Checks:
+//
+//   - det-timenow: any use of time.Now. Report-feeding code must take
+//     timestamps as inputs, not sample the wall clock.
+//   - det-globalrand: use of math/rand (or math/rand/v2) package-level
+//     functions backed by the process-global generator. Seeded local
+//     generators (rand.New(rand.NewSource(seed))) and the repo's
+//     internal/xrand are fine.
+//   - det-maprange: a for-range over a map. Go randomizes map iteration
+//     order per run; ranging over a map in report code reorders output.
+//     Suppress a deliberate order-insensitive loop (pure accumulation)
+//     with a trailing "//det:order" comment on the range line.
+//
+// The type-aware pass degrades gracefully: when full type information
+// is unavailable (e.g. an import cannot be resolved offline), the
+// import-table fallback still catches time.Now and math/rand, and map
+// ranges are checked for every range expression whose type did resolve.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Pass carries one package's parsed and (best-effort) type-checked
+// state through the checks — the same shape a go/analysis.Pass has, so
+// the checks port directly once x/tools is available.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Info may be partially filled when type checking degraded.
+	Info *types.Info
+
+	diags []Diagnostic
+}
+
+func (p *Pass) report(pos token.Pos, check, msg string) {
+	p.diags = append(p.diags, Diagnostic{Pos: p.Fset.Position(pos), Check: check, Message: msg})
+}
+
+// run executes all checks and returns position-sorted, deduplicated
+// diagnostics. (The analyzer must itself be deterministic: everything
+// collected into maps is sorted before leaving.)
+func (p *Pass) run() []Diagnostic {
+	for _, f := range p.Files {
+		p.checkFile(f)
+	}
+	sort.Slice(p.diags, func(i, j int) bool {
+		a, b := p.diags[i], p.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	out := p.diags[:0]
+	var prev Diagnostic
+	for i, d := range p.diags {
+		if i > 0 && d.Pos == prev.Pos && d.Check == prev.Check {
+			continue
+		}
+		out = append(out, d)
+		prev = d
+	}
+	return out
+}
+
+// randAllowed are math/rand package functions that do not touch the
+// global generator.
+var randAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func (p *Pass) checkFile(f *ast.File) {
+	// Import table for the syntactic fallback: local name -> path.
+	imports := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		imports[name] = path
+	}
+	suppressed := suppressedLines(p.Fset, f)
+
+	ast.Inspect(f, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.SelectorExpr:
+			p.checkSelector(n, imports)
+		case *ast.RangeStmt:
+			line := p.Fset.Position(n.Pos()).Line
+			if suppressed[line] {
+				return true
+			}
+			p.checkRange(n)
+		}
+		return true
+	})
+}
+
+// checkSelector flags time.Now and global math/rand uses, preferring
+// type information and falling back to the import table.
+func (p *Pass) checkSelector(sel *ast.SelectorExpr, imports map[string]string) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgPath := ""
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil {
+			// Only package-level references (not methods on rand.Rand
+			// values, whose receiver carries the local generator).
+			if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+				pkgPath = obj.Pkg().Path()
+			}
+		}
+	}
+	if pkgPath == "" {
+		// Fallback: the identifier names an imported package and is not
+		// shadowed in any reachable scope we can see without types —
+		// accept the import table's answer.
+		pkgPath = imports[id.Name]
+	}
+	switch pkgPath {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			p.report(sel.Pos(), "det-timenow",
+				"time.Now in report-feeding code; take the timestamp as an input instead")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[sel.Sel.Name] {
+			p.report(sel.Pos(), "det-globalrand",
+				fmt.Sprintf("global rand.%s uses the process-wide generator; use a seeded rand.New or internal/xrand", sel.Sel.Name))
+		}
+	}
+}
+
+// checkRange flags for-range over map types.
+func (p *Pass) checkRange(rs *ast.RangeStmt) {
+	if p.Info == nil {
+		return
+	}
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	p.report(rs.Pos(), "det-maprange",
+		"range over a map has randomized order; sort the keys first (or mark a pure accumulation with //det:order)")
+}
+
+// suppressedLines collects the lines carrying a //det:order comment.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "det:order") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestDirtyFixture pins the exact findings on the dirty fixture: each
+// seeded pattern is caught once and none of the allowed forms leak.
+func TestDirtyFixture(t *testing.T) {
+	diags, err := lintDir(filepath.Join("testdata", "src", "dirty"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"11:det-timenow",
+		"15:det-globalrand",
+		"25:det-maprange",
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Check))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCleanFixture asserts the allowed forms produce no findings.
+func TestCleanFixture(t *testing.T) {
+	diags, err := lintDir(filepath.Join("testdata", "src", "clean"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("clean fixture produced findings: %v", diags)
+	}
+}
+
+// TestRepoPackages runs the analyzer over the report-feeding packages —
+// the same gate CI applies. The repo root is two levels up from this
+// package directory.
+func TestRepoPackages(t *testing.T) {
+	for _, pkg := range []string{"fmea", "inject", "report", "drc"} {
+		dir := filepath.Join("..", "..", "internal", pkg)
+		diags, err := lintDir(dir, false)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("internal/%s has determinism findings: %v", pkg, diags)
+		}
+	}
+}

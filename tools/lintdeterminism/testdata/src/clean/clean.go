@@ -1,0 +1,28 @@
+// Package clean is a linter fixture with no findings.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Elapsed(start, end time.Time) time.Duration { return end.Sub(start) }
+
+func Draw(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //det:order collecting before sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,45 @@
+// Package dirty is a linter fixture: every nondeterminism pattern the
+// analyzer knows, plus the allowed forms that must NOT be flagged.
+package dirty
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time {
+	return time.Now() // want det-timenow
+}
+
+func Roll() int {
+	return rand.Intn(6) // want det-globalrand
+}
+
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // allowed: local generator
+	return r.Intn(6)                    // allowed: method on *rand.Rand
+}
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want det-maprange
+		out = append(out, k)
+	}
+	return out
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { //det:order pure accumulation
+		total += v
+	}
+	return total
+}
+
+func Slice(xs []int) int {
+	total := 0
+	for _, v := range xs { // allowed: slice order is stable
+		total += v
+	}
+	return total
+}
