@@ -10,7 +10,9 @@ package repro
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"sync"
@@ -658,6 +660,63 @@ func BenchmarkE16_ParallelFaultSim(b *testing.B) {
 			b.ReportMetric(serialPerFault/perFault, "speedup")
 		})
 	}
+}
+
+// ---------- E17: fault-tolerant campaign execution — kill a campaign
+// mid-plan, resume from the deterministic checkpoint, and verify the
+// merged report is bit-identical to the uninterrupted run. ----------
+
+func BenchmarkE17_ResumedCampaign(b *testing.B) {
+	c2 := campaign(b, true)
+	plan := inject.BuildPlan(c2.an, c2.golden, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 1})
+	plan = append(plan, inject.WidePlan(c2.an, c2.golden, 12, 2)...)
+
+	start := time.Now()
+	ref, err := c2.target.Run(c2.golden, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uninterrupted := time.Since(start)
+
+	path := filepath.Join(b.TempDir(), "e17.ckpt")
+	runKilledAndResumed := func(workers int) *inject.Report {
+		tgt := *c2.target // never mutate the shared cached fixture
+		tgt.Workers = workers
+		tgt.Supervision = inject.Supervision{
+			Checkpoint: path, CheckpointEvery: 4, StopAfter: len(plan) / 2,
+		}
+		if _, err := tgt.Run(c2.golden, plan); !errors.Is(err, inject.ErrCampaignStopped) {
+			b.Fatalf("interrupted run: got %v, want ErrCampaignStopped", err)
+		}
+		tgt.Supervision = inject.Supervision{Checkpoint: path, Resume: true}
+		rep, err := tgt.Run(c2.golden, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	start = time.Now()
+	rep := runKilledAndResumed(4)
+	resumed := time.Since(start)
+	if !reflect.DeepEqual(ref, rep) {
+		b.Fatal("resumed report differs from the uninterrupted run")
+	}
+	once("E17", func() {
+		fmt.Printf("\n[E17] kill/resume campaign: %d experiments, kill at 50%%, resumed report bit-identical: %v\n",
+			len(plan), reflect.DeepEqual(ref, rep))
+		fmt.Printf("[E17] uninterrupted %.2fs vs killed+resumed %.2fs (checkpoint overhead amortized every 4 exps)\n",
+			uninterrupted.Seconds(), resumed.Seconds())
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := runKilledAndResumed(4)
+		if rep == nil {
+			b.Fatal("no report")
+		}
+	}
+	perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
+	b.ReportMetric(1/perExp, "exp/s")
+	b.ReportMetric(resumed.Seconds()/uninterrupted.Seconds(), "overhead")
 }
 
 // ---------- X1 (extension): the fault-robust microcontroller direction —

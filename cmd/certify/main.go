@@ -88,7 +88,11 @@ func main() {
 			log.Printf("%s: DRC pre-flight found %d error-level violation(s); grade is conditional",
 				as.Name, as.DRC.Count(drc.Error))
 		}
-		allMet = allMet && as.TargetMet && as.DRCClean()
+		if !as.CampaignHealthy() {
+			log.Printf("%s: validation campaign degraded (%d quarantined, %d aborted); grade is conditional",
+				as.Name, as.Validation.Quarantined, as.Validation.AbortedExps)
+		}
+		allMet = allMet && as.TargetMet && as.DRCClean() && as.CampaignHealthy()
 	}
 	if !allMet {
 		os.Exit(1)

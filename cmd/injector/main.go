@@ -2,6 +2,16 @@
 // against a memory sub-system implementation: golden run, operational-
 // profile-guided fault list, per-zone measured S/DDF, coverage items,
 // effect-table consistency and the cross-check against the worksheet.
+//
+// Campaign execution is supervised: per-experiment watchdogs
+// (-exp-cycle-budget, -exp-timeout), retry + quarantine of failing
+// experiments (-retries), and deterministic checkpoint/resume
+// (-checkpoint, -resume) — a resumed campaign's report is byte-
+// identical to an uninterrupted run.
+//
+// Exit codes: 0 success; 1 fatal error; 2 flag/usage error;
+// 3 experiments quarantined (campaign degraded); 4 campaign coverage
+// incomplete (Coverage.Complete() false — the CI gate).
 package main
 
 import (
@@ -10,6 +20,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/fit"
 	"repro/internal/inject"
@@ -23,14 +34,48 @@ func main() {
 	design := flag.String("design", "v2", "implementation: v1 or v2")
 	addrWidth := flag.Int("addr", 6, "address width")
 	words := flag.Int("words", 8, "March slice size of the workload")
-	transient := flag.Int("transient", 2, "transient experiments per zone")
-	permanent := flag.Int("permanent", 2, "permanent experiments per zone")
+	transient := flag.Int("transient", 6, "transient experiments per zone")
+	permanent := flag.Int("permanent", 3, "permanent experiments per zone")
 	wide := flag.Int("wide", 12, "wide/global fault experiments")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
 	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
 	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
+	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (enables periodic checkpointing)")
+	checkpointEvery := flag.Int("checkpoint-every", 16, "completed experiments between checkpoint writes")
+	resume := flag.Bool("resume", false, "resume from -checkpoint; the merged report is byte-identical to an uninterrupted run")
+	cycleBudget := flag.Int("exp-cycle-budget", 0, "max simulated cycles per experiment (0 = unlimited; exceeding aborts the experiment)")
+	expTimeout := flag.Duration("exp-timeout", 0, "max wall-clock per experiment (0 = unlimited; nondeterministic last-resort hang guard)")
+	retries := flag.Int("retries", 0, "retry a failing experiment up to N more times before quarantining it")
+	requireCoverage := flag.Bool("require-coverage", true, "exit 4 when campaign coverage is incomplete")
 	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "injector: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 {
+		usageErr("-workers must be >= 0 (0 = serial), got %d", *workers)
+	}
+	if *cycleBudget < 0 {
+		usageErr("-exp-cycle-budget must be >= 0, got %d", *cycleBudget)
+	}
+	if *expTimeout < 0 {
+		usageErr("-exp-timeout must be >= 0, got %v", *expTimeout)
+	}
+	if *retries < 0 {
+		usageErr("-retries must be >= 0, got %d", *retries)
+	}
+	if *checkpointEvery < 1 {
+		usageErr("-checkpoint-every must be >= 1, got %d", *checkpointEvery)
+	}
+	if *resume && *checkpoint == "" {
+		usageErr("-resume requires -checkpoint")
+	}
+	if *transient < 0 || *permanent < 0 || *wide < 0 {
+		usageErr("experiment counts must be >= 0")
+	}
 
 	var cfg memsys.Config
 	switch *design {
@@ -39,7 +84,7 @@ func main() {
 	case "v2":
 		cfg = memsys.V2Config()
 	default:
-		log.Fatalf("unknown design %q", *design)
+		usageErr("unknown design %q", *design)
 	}
 	cfg.AddrWidth = *addrWidth
 	d, err := memsys.Build(cfg)
@@ -52,6 +97,16 @@ func main() {
 	}
 	target := d.InjectionTargetSeeded(a, d.SeedFaults())
 	target.Workers = *workers
+	target.Supervision = inject.Supervision{
+		CycleBudget:     *cycleBudget,
+		WallBudget:      *expTimeout,
+		Clock:           time.Now,
+		Retries:         *retries,
+		Quarantine:      true,
+		Checkpoint:      *checkpoint,
+		CheckpointEvery: *checkpointEvery,
+		Resume:          *resume,
+	}
 	tr := d.ValidationWorkload(*words, *seed)
 	fmt.Printf("%s: workload %d cycles, %d zones\n", cfg.Name, tr.Cycles(), len(a.Zones))
 
@@ -71,8 +126,9 @@ func main() {
 	effective := *workers
 	if effective == 0 {
 		effective = 1
-	} else if effective < 0 {
-		effective = runtime.NumCPU()
+	}
+	if *resume {
+		log.Printf("resuming from checkpoint %s (plan hash %016x)", *checkpoint, inject.PlanHash(plan))
 	}
 	fmt.Printf("running %d injection experiments on %d worker(s)...\n", len(plan), effective)
 	rep, err := target.Run(g, plan)
@@ -92,14 +148,30 @@ func main() {
 	}
 	fmt.Println(t.Render())
 
+	if n := rep.AbortedCount(); n > 0 {
+		fmt.Printf("WATCHDOG: %d experiment(s) aborted on budget (counted dangerous-undetected)\n", n)
+	}
+	if len(rep.Quarantined) > 0 {
+		qt := report.NewTable("\nQuarantined experiments (no verdict; counted dangerous-undetected)",
+			"plan#", "injection", "attempts", "error")
+		for _, q := range rep.Quarantined {
+			qt.AddRow(q.PlanIndex, q.Injection.Describe(a), q.Attempts, q.Err)
+		}
+		fmt.Println(qt.Render())
+	}
+
 	w := d.Worksheet(a, fit.Default())
 	rows := rep.ValidateWorksheet(a, w, *tol)
 	bad := 0
 	for _, r := range rows {
 		if !r.Within {
 			bad++
-			fmt.Printf("OVER-CLAIM: %-28s estS=%.2f measS=%.2f estDDF=%.2f measDDF=%.2f\n",
-				r.Name, r.EstS, r.MeasS, r.EstDDF, r.MeasDDF)
+			flagNote := ""
+			if r.Degraded > 0 {
+				flagNote = fmt.Sprintf("  [%d experiment(s) without verdict — conservative bound]", r.Degraded)
+			}
+			fmt.Printf("OVER-CLAIM: %-28s estS=%.2f measS=%.2f estDDF=%.2f measDDF=%.2f%s\n",
+				r.Name, r.EstS, r.MeasS, r.EstDDF, r.MeasDDF, flagNote)
 		}
 	}
 	fmt.Printf("worksheet cross-check: %s of %d zones within tolerance (%d over-claims)\n",
@@ -119,6 +191,16 @@ func main() {
 	}
 	if inconsistent == 0 {
 		fmt.Println("effect tables consistent with main/secondary analysis: PASS")
+	}
+
+	if len(rep.Quarantined) > 0 {
+		log.Printf("campaign degraded: %d experiment(s) quarantined", len(rep.Quarantined))
+		os.Exit(3)
+	}
+	if *requireCoverage && !cov.Complete() {
+		log.Printf("campaign coverage incomplete (SENS %s OBSE %s DIAG %s); failing the gate",
+			report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()))
+		os.Exit(4)
 	}
 }
 

@@ -60,6 +60,11 @@ type Options struct {
 	WideFaults      int
 	Tolerance       float64 // est-vs-measured acceptance band
 	ToggleThreshold float64 // workload-efficiency threshold (0.99)
+	// Supervision is the campaign fault-tolerance policy (watchdogs,
+	// retry/quarantine, checkpoint/resume) applied to the injection
+	// target. The zero value is fail-fast: any experiment failure
+	// aborts the flow, as before.
+	Supervision inject.Supervision
 }
 
 // DefaultOptions mirrors the paper's defaults: SIL3 target at HFT 0,
@@ -92,6 +97,14 @@ type Validation struct {
 	ToggleRaw     float64
 	ToggleAdj     float64
 	ToggleOK      bool
+	// Degraded reports a campaign that completed without a verdict on
+	// every experiment (quarantined or watchdog-aborted rows, counted
+	// below across the zone and wide campaigns). The measured
+	// fractions are then conservative lower bounds and every grade in
+	// the report is CONDITIONAL.
+	Degraded    bool
+	Quarantined int
+	AbortedExps int
 }
 
 // Assessment is the flow's output: the safety case for one design.
@@ -115,6 +128,13 @@ type Assessment struct {
 // violations (vacuously true when skipped).
 func (as *Assessment) DRCClean() bool {
 	return as.DRC == nil || as.DRC.Clean()
+}
+
+// CampaignHealthy reports whether the validation campaign (when run)
+// delivered a verdict on every planned experiment. A degraded campaign
+// makes the assessment CONDITIONAL, like an unclean DRC pre-flight.
+func (as *Assessment) CampaignHealthy() bool {
+	return as.Validation == nil || !as.Validation.Degraded
 }
 
 // Run executes the flow over a DUT.
@@ -148,6 +168,7 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 	}
 
 	target := dut.Target(a)
+	target.Supervision = opts.Supervision
 	golden, err := target.RunGolden(dut.ValidationTrace())
 	if err != nil {
 		return nil, fmt.Errorf("core: golden run: %w", err)
@@ -170,6 +191,14 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 			return nil, fmt.Errorf("core: wide/global campaign: %w", err)
 		}
 	}
+	for _, rep := range []*inject.Report{v.Report, v.WideReport} {
+		if rep == nil {
+			continue
+		}
+		v.Quarantined += len(rep.Quarantined)
+		v.AbortedExps += rep.AbortedCount()
+	}
+	v.Degraded = v.Quarantined > 0 || v.AbortedExps > 0
 	v.Rows = v.Report.ValidateWorksheet(a, w, opts.Tolerance)
 	v.PassFraction = inject.PassFraction(v.Rows)
 	v.Effects = v.Report.CheckEffects(a)
@@ -241,6 +270,10 @@ func (as *Assessment) Report() string {
 		cov := v.Report.Coverage
 		fmt.Fprintf(&b, "campaign coverage: SENS %s, OBSE %s, DIAG %s, %d mismatches\n",
 			report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()), cov.Mismatches)
+		if v.Degraded {
+			fmt.Fprintf(&b, "!! degraded campaign: %d quarantined, %d watchdog-aborted experiment(s) —\n", v.Quarantined, v.AbortedExps)
+			fmt.Fprintf(&b, "!! affected rows counted as dangerous undetected; the SIL grade above is CONDITIONAL\n")
+		}
 		fmt.Fprintf(&b, "estimate cross-check: %s of zones within tolerance: %s\n",
 			report.Pct(v.PassFraction), verdict(v.PassFraction >= 0.9))
 		fmt.Fprintf(&b, "effects tables consistent with main/secondary analysis: %s\n", verdict(v.EffectsOK))

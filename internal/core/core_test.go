@@ -183,3 +183,52 @@ func TestDRCPreflightEmbedded(t *testing.T) {
 		t.Error("report renders a DRC section for a skipped pre-flight")
 	}
 }
+
+// TestDegradedCampaignConditional: when the validation campaign runs
+// under a watchdog budget that aborts experiments, the assessment must
+// surface the degradation — CampaignHealthy false, conservative counts
+// in Validation, and a CONDITIONAL call-out in the rendered report —
+// rather than silently grading on partial evidence.
+func TestDegradedCampaignConditional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation flow is slow")
+	}
+	opts := DefaultOptions()
+	opts.Plan = inject.PlanConfig{TransientPerZone: 1, PermanentPerZone: 1, Seed: 1}
+	opts.WideFaults = 2
+	opts.Tolerance = 0.6
+	opts.Supervision.CycleBudget = 2 // far below any injection cycle
+	as, err := Run(flowDUT(t, true, 6), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := as.Validation
+	if v == nil {
+		t.Fatal("no validation result")
+	}
+	if !v.Degraded || v.AbortedExps == 0 {
+		t.Fatalf("degraded=%v abortedExps=%d, want a degraded campaign", v.Degraded, v.AbortedExps)
+	}
+	if as.CampaignHealthy() {
+		t.Fatal("CampaignHealthy must be false for a degraded campaign")
+	}
+	rep := as.Report()
+	for _, want := range []string{"degraded campaign", "CONDITIONAL"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	// Without supervision the same flow is healthy.
+	opts.Supervision = inject.Supervision{}
+	as, err = Run(flowDUT(t, true, 6), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.CampaignHealthy() {
+		t.Fatal("unsupervised flow reported an unhealthy campaign")
+	}
+	if strings.Contains(as.Report(), "degraded campaign") {
+		t.Error("healthy report renders the degraded call-out")
+	}
+}

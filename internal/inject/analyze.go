@@ -17,13 +17,19 @@ type ZoneMeasure struct {
 	DetSafe     int
 	DangerDet   int
 	DangerUndet int
+	// Aborted counts watchdog-terminated experiments, Quarantined the
+	// ones the supervisor isolated after exhausting retries. Both gave
+	// no verdict; the measured fractions below count them on the
+	// dangerous-undetected side (the λDU-conservative bound).
+	Aborted     int
+	Quarantined int
 	// EffectObs is the union of observation points the zone's failures
 	// reached (the "table of effects").
 	EffectObs []int
 }
 
 // SMeasured is the measured safe fraction: failures with no functional
-// deviation.
+// deviation. Aborted and quarantined experiments count as unsafe.
 func (z ZoneMeasure) SMeasured() float64 {
 	if z.Experiments == 0 {
 		return 1
@@ -31,9 +37,10 @@ func (z ZoneMeasure) SMeasured() float64 {
 	return float64(z.Silent+z.DetSafe) / float64(z.Experiments)
 }
 
-// DDFMeasured is the measured detected-dangerous fraction.
+// DDFMeasured is the measured detected-dangerous fraction. Aborted and
+// quarantined experiments count as dangerous undetected.
 func (z ZoneMeasure) DDFMeasured() float64 {
-	d := z.DangerDet + z.DangerUndet
+	d := z.DangerDet + z.DangerUndet + z.Aborted + z.Quarantined
 	if d == 0 {
 		return 1
 	}
@@ -45,13 +52,22 @@ func (z ZoneMeasure) DDFMeasured() float64 {
 func (r *Report) ZoneMeasures(a *zones.Analysis) []ZoneMeasure {
 	byZone := map[int]*ZoneMeasure{}
 	var order []int
-	for _, res := range r.Results {
-		zm, ok := byZone[res.Zone]
+	get := func(zone int) *ZoneMeasure {
+		zm, ok := byZone[zone]
 		if !ok {
-			zm = &ZoneMeasure{Zone: res.Zone, Name: a.Zones[res.Zone].Name}
-			byZone[res.Zone] = zm
-			order = append(order, res.Zone)
+			zm = &ZoneMeasure{Zone: zone, Name: a.Zones[zone].Name}
+			byZone[zone] = zm
+			order = append(order, zone)
 		}
+		return zm
+	}
+	for _, q := range r.Quarantined {
+		zm := get(q.Injection.Zone)
+		zm.Experiments++
+		zm.Quarantined++
+	}
+	for _, res := range r.Results {
+		zm := get(res.Zone)
 		zm.Experiments++
 		switch res.Outcome {
 		case Silent:
@@ -62,6 +78,8 @@ func (r *Report) ZoneMeasures(a *zones.Analysis) []ZoneMeasure {
 			zm.DangerDet++
 		case DangerousUndetected:
 			zm.DangerUndet++
+		case Aborted:
+			zm.Aborted++
 		}
 		for _, oi := range res.Deviated {
 			found := false
@@ -143,6 +161,11 @@ type ValidationRow struct {
 	// the sheet claimed more than the campaign observed.
 	DeltaS   float64
 	DeltaDDF float64
+	// Degraded counts the zone's experiments without a verdict
+	// (quarantined + watchdog-aborted); when nonzero the measured
+	// values are conservative lower bounds, and the cross-check flags
+	// the row instead of treating a miss as a hard over-claim.
+	Degraded int
 }
 
 // ValidateWorksheet performs the Section 5a cross-check: for every zone
@@ -167,6 +190,7 @@ func (r *Report) ValidateWorksheet(a *zones.Analysis, w *fmea.Worksheet, toleran
 			Zone: zm.Zone, Name: zm.Name,
 			EstS: estS, MeasS: zm.SMeasured(),
 			EstDDF: estDDF, MeasDDF: zm.DDFMeasured(),
+			Degraded: zm.Aborted + zm.Quarantined,
 		}
 		row.DeltaS = row.EstS - row.MeasS
 		row.DeltaDDF = row.EstDDF - row.MeasDDF

@@ -37,6 +37,10 @@ type Target struct {
 	// negative = runtime.NumCPU()); the merged report is bit-identical
 	// to the serial one for any value. See RunParallel.
 	Workers int
+	// Supervision is the fault-tolerance policy of campaign execution:
+	// watchdog budgets, retry/quarantine and checkpoint/resume. The
+	// zero value keeps the historical fail-fast behavior.
+	Supervision Supervision
 }
 
 // obsTrace is the recorded (value, xmask) stream of one observation

@@ -2,6 +2,7 @@ package inject
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -61,21 +62,59 @@ func (rep *Report) absorb(res ExpResult, ci covIndex) {
 	}
 }
 
+// expSlot is the per-plan-index completion cell of a campaign.
+type expSlot struct {
+	done bool
+	quar bool
+	res  ExpResult
+	q    Quarantined
+}
+
+// campaignState tracks completion, quarantine and checkpoint cadence
+// under one mutex; simulation dominates the cost by orders of
+// magnitude, so the lock never contends meaningfully.
+type campaignState struct {
+	mu        sync.Mutex
+	slots     []expSlot
+	completed int // completions in this process (drives cadence + StopAfter)
+	sinceCkpt int
+}
+
+// snapshot renders the current completed state as a Checkpoint, in
+// canonical plan-index order.
+func (st *campaignState) snapshot() *Checkpoint {
+	ck := &Checkpoint{}
+	for i := range st.slots {
+		s := &st.slots[i]
+		if !s.done {
+			continue
+		}
+		if s.quar {
+			ck.Quarantined = append(ck.Quarantined, s.q)
+		} else {
+			ck.Results = append(ck.Results, IndexedResult{PlanIndex: i, Result: s.res})
+		}
+	}
+	return ck
+}
+
 // RunParallel executes the injection campaign sharded across workers
-// goroutines. Each worker claims experiments from a shared atomic
-// cursor (dynamic load balancing — wide permanent faults simulate the
-// whole trace while late transients are cheap), runs each one on a
-// fresh simulator instance from t.NewInstance, and reads the shared
-// golden traces strictly read-only. Results land in a preallocated
-// slice indexed by plan position and are merged in plan order, so the
-// report is bit-identical to the serial Run for any worker count.
+// goroutines under the Target's Supervision policy. Each worker claims
+// experiments from a shared atomic cursor (dynamic load balancing —
+// wide permanent faults simulate the whole trace while late transients
+// are cheap), runs each one on a fresh simulator instance from
+// t.NewInstance, and reads the shared golden traces strictly
+// read-only. Results land in per-index slots and are merged in plan
+// order, so the report is bit-identical to the serial Run for any
+// worker count — including a run resumed from a checkpoint at any kill
+// point.
 //
 // workers <= 0 selects runtime.NumCPU(); workers == 1 runs inline with
-// no goroutines (the serial path). On failure the error of the
-// lowest-index failing experiment is returned, matching serial
-// semantics: the cursor hands out indices in ascending order, so the
-// first failing index is always claimed and executed before the abort
-// flag can stop any later one.
+// no goroutines (the serial path). On failure without quarantine the
+// *ExperimentError of the lowest-index failing experiment is returned,
+// matching serial semantics: the cursor hands out indices in ascending
+// order, so the first failing index is always claimed and executed
+// before the abort flag can stop any later one.
 func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -83,51 +122,130 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	if workers > len(plan) {
 		workers = maxInt(1, len(plan))
 	}
-	a := t.Analysis
-	rep, ci := newReport(a)
-	if workers == 1 {
-		for _, inj := range plan {
-			res, err := t.runOne(g, inj)
-			if err != nil {
-				return nil, fmt.Errorf("inject: %s: %w", inj.Describe(a), err)
-			}
-			rep.absorb(res, ci)
-		}
-		return rep, nil
+	sup := t.Supervision
+	if sup.Checkpoint != "" && sup.CheckpointEvery <= 0 {
+		sup.CheckpointEvery = defaultCheckpointEvery
 	}
 
-	results := make([]ExpResult, len(plan))
-	errs := make([]error, len(plan))
-	var cursor atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(plan) || failed.Load() {
-					return
-				}
-				res, err := t.runOne(g, plan[i])
-				if err != nil {
-					errs[i] = fmt.Errorf("inject: %s: %w", plan[i].Describe(a), err)
-					failed.Store(true)
-					return
-				}
-				results[i] = res
-			}
-		}()
+	st := &campaignState{slots: make([]expSlot, len(plan))}
+	if sup.Resume && sup.Checkpoint != "" {
+		if err := st.preload(sup.Checkpoint, plan); err != nil {
+			return nil, err
+		}
 	}
-	wg.Wait()
+
+	var (
+		cursor  atomic.Int64
+		stopped atomic.Bool
+		errs    = make([]error, len(plan))
+		ckptErr error
+	)
+	// finish is called with st.mu held after every completion; it
+	// writes the periodic checkpoint and fires the StopAfter hook.
+	finish := func() {
+		st.completed++
+		st.sinceCkpt++
+		stopping := sup.StopAfter > 0 && st.completed >= sup.StopAfter
+		if sup.Checkpoint != "" && (st.sinceCkpt >= sup.CheckpointEvery || stopping) {
+			if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil && ckptErr == nil {
+				ckptErr = err
+				stopping = true
+			}
+			st.sinceCkpt = 0
+		}
+		if stopping {
+			stopped.Store(true)
+		}
+	}
+	work := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(plan) || stopped.Load() {
+				return
+			}
+			if st.slots[i].done { // preloaded from the checkpoint
+				continue
+			}
+			res, err := t.runSupervised(g, plan, i)
+			st.mu.Lock()
+			if err != nil {
+				if sup.Quarantine {
+					ee := err.(*ExperimentError)
+					st.slots[i] = expSlot{done: true, quar: true, q: Quarantined{
+						PlanIndex: i, Injection: plan[i], Attempts: ee.Attempts, Err: ee.Err.Error(),
+					}}
+					finish()
+				} else {
+					errs[i] = err
+					stopped.Store(true)
+				}
+			} else {
+				st.slots[i] = expSlot{done: true, res: res}
+				finish()
+			}
+			st.mu.Unlock()
+		}
+	}
+
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	for _, res := range results {
-		rep.absorb(res, ci)
+	if ckptErr != nil {
+		return nil, ckptErr
+	}
+	if sup.StopAfter > 0 && st.completed >= sup.StopAfter {
+		return nil, ErrCampaignStopped
+	}
+	if sup.Checkpoint != "" && st.sinceCkpt > 0 {
+		if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil {
+			return nil, err
+		}
+	}
+
+	rep, ci := newReport(t.Analysis)
+	for i := range st.slots {
+		s := &st.slots[i]
+		if s.quar {
+			rep.Quarantined = append(rep.Quarantined, s.q)
+		} else {
+			rep.absorb(s.res, ci)
+		}
 	}
 	return rep, nil
+}
+
+// preload fills completion slots from a checkpoint file. A missing
+// file is a fresh start, not an error; an unreadable or mismatched one
+// aborts before any simulation is spent.
+func (st *campaignState) preload(path string, plan []Injection) error {
+	ck, err := LoadCheckpoint(path, plan)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("inject: resume: %w", err)
+	}
+	for _, ir := range ck.Results {
+		st.slots[ir.PlanIndex] = expSlot{done: true, res: ir.Result}
+	}
+	for _, q := range ck.Quarantined {
+		st.slots[q.PlanIndex] = expSlot{done: true, quar: true, q: q}
+	}
+	return nil
 }

@@ -12,12 +12,16 @@ type Outcome uint8
 // not a hazard per Section 3). DetectedSafe faults raise a diagnostic
 // alarm without functional deviation. DangerousDetected corrupt a
 // functional output with the alarm raised; DangerousUndetected corrupt
-// it silently — the λDU contributors.
+// it silently — the λDU contributors. Aborted experiments were
+// terminated by a supervision watchdog (cycle or wall-clock budget)
+// before a verdict; the analyzer treats them as dangerous undetected,
+// the conservative bound.
 const (
 	Silent Outcome = iota
 	DetectedSafe
 	DangerousDetected
 	DangerousUndetected
+	Aborted
 )
 
 func (o Outcome) String() string {
@@ -28,6 +32,8 @@ func (o Outcome) String() string {
 		return "detected-safe"
 	case DangerousDetected:
 		return "dangerous-detected"
+	case Aborted:
+		return "aborted"
 	default:
 		return "dangerous-undetected"
 	}
@@ -86,10 +92,35 @@ func frac(b []bool) float64 {
 	return float64(n) / float64(len(b))
 }
 
-// Report is the full campaign result.
+// Report is the full campaign result. Quarantined lists experiments
+// the supervisor isolated after exhausting retries (empty unless
+// Supervision.Quarantine is on); they carry no verdict, so coverage
+// items they would have exercised stay unset and the analyzer counts
+// them as dangerous undetected — the conservative bound.
 type Report struct {
-	Results  []ExpResult
-	Coverage Coverage
+	Results     []ExpResult
+	Quarantined []Quarantined
+	Coverage    Coverage
+}
+
+// Degraded reports whether the campaign finished without a full
+// verdict on every planned experiment — some rows quarantined or
+// watchdog-aborted. A degraded campaign still validates, but its
+// measured fractions are conservative lower bounds and a
+// certification report must call the grade CONDITIONAL.
+func (r *Report) Degraded() bool {
+	return len(r.Quarantined) > 0 || r.AbortedCount() > 0
+}
+
+// AbortedCount is the number of watchdog-aborted experiments.
+func (r *Report) AbortedCount() int {
+	n := 0
+	for i := range r.Results {
+		if r.Results[i].Outcome == Aborted {
+			n++
+		}
+	}
+	return n
 }
 
 // Run executes the injection campaign: one golden-aligned faulty
@@ -112,18 +143,32 @@ func (t *Target) RunOne(g *Golden, inj Injection) (ExpResult, error) {
 	return t.runOne(g, inj)
 }
 
-// runOne executes one faulty simulation against the golden traces.
+// runOne executes one faulty simulation against the golden traces,
+// honoring the supervision watchdogs: a cooperative cycle budget
+// (deterministic — the abort point depends only on the plan) and an
+// optional wall-clock budget read through the injected Supervision
+// clock (a last-resort hang guard; see DESIGN.md §9 for why it is off
+// by default). A watchdog stop records the Aborted outcome instead of
+// hanging the worker.
 func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
 	a := t.Analysis
 	s, err := t.NewInstance()
 	if err != nil {
 		return ExpResult{}, err
 	}
+	if b := t.Supervision.CycleBudget; b > 0 {
+		s.SetCycleBudget(int64(b))
+	}
+	wallCheck := t.Supervision.wallChecker()
 	res := ExpResult{Injection: inj, FirstDevCycle: -1}
 	deviated := map[int]bool{}
 	funcDev, diagDev := false, false
 	tr := g.Trace
 	for c := 0; c < tr.Cycles(); c++ {
+		if s.BudgetExceeded() || wallCheck(c) {
+			res.Outcome = Aborted
+			return res, nil
+		}
 		tr.ApplyTo(s, c)
 		s.Eval()
 		s.Step()

@@ -1,0 +1,152 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Supervision makes campaign execution fault-tolerant: per-experiment
+// watchdogs, failure isolation with retry and quarantine, and periodic
+// deterministic checkpoints. The zero value reproduces the historical
+// behavior exactly — no budgets, no retries, a failing experiment
+// aborts the campaign, nothing is checkpointed.
+type Supervision struct {
+	// CycleBudget caps the simulated cycles one experiment may consume
+	// (0 = unlimited). An experiment that exceeds it is terminated with
+	// the Aborted outcome. The budget is cooperative and counted in
+	// simulated cycles, so it is fully deterministic: the same plan
+	// aborts at the same point at any worker count.
+	CycleBudget int
+	// WallBudget caps the wall-clock time of one experiment
+	// (0 = disabled). It needs Clock to be set; wall aborts are
+	// inherently nondeterministic and void the byte-identity guarantee
+	// for the affected rows, so this is a last-resort hang guard only.
+	WallBudget time.Duration
+	// Clock supplies the current time for WallBudget. It is injected
+	// rather than sampled (time.Now is banned in this package by the
+	// determinism linter) so library users choose whether to pay the
+	// nondeterminism; cmd/injector passes time.Now.
+	Clock func() time.Time
+	// Retries re-runs a failing experiment up to this many additional
+	// times before giving up on it.
+	Retries int
+	// Quarantine isolates persistent per-experiment failures into
+	// Report.Quarantined and lets the rest of the campaign complete;
+	// when false (default) the first failure aborts the campaign with
+	// an *ExperimentError, preserving the historical contract.
+	Quarantine bool
+	// Checkpoint is the path of the campaign checkpoint file
+	// ("" = checkpointing disabled). Writes are atomic
+	// (temp file + rename), so a crash at any instant leaves either
+	// the previous or the next complete checkpoint on disk.
+	Checkpoint string
+	// CheckpointEvery is the number of completed experiments between
+	// checkpoint writes (<= 0 selects 16). A final checkpoint is
+	// always written when the campaign finishes or stops.
+	CheckpointEvery int
+	// Resume preloads completed results from Checkpoint (when the file
+	// exists) and replays only the remaining plan indices. The merged
+	// report is byte-identical to an uninterrupted run.
+	Resume bool
+	// StopAfter > 0 aborts the campaign with ErrCampaignStopped once
+	// that many experiments have completed in this process, right
+	// after a checkpoint write — a deterministic crash hook used by the
+	// resume tests and the CI kill/resume smoke job.
+	StopAfter int
+}
+
+// defaultCheckpointEvery is the checkpoint cadence when unset.
+const defaultCheckpointEvery = 16
+
+// wallChecker returns the per-cycle wall-budget poll, a no-op when the
+// wall watchdog is disabled. The clock is only sampled every 256
+// cycles so the guard stays invisible next to the simulation cost.
+func (sv *Supervision) wallChecker() func(cycle int) bool {
+	if sv.WallBudget <= 0 || sv.Clock == nil {
+		return func(int) bool { return false }
+	}
+	deadline := sv.Clock().Add(sv.WallBudget)
+	return func(cycle int) bool {
+		if cycle&0xff != 0 {
+			return false
+		}
+		return sv.Clock().After(deadline)
+	}
+}
+
+// ErrCampaignStopped is returned by Run/RunParallel when the StopAfter
+// crash hook fires. The campaign state up to the stop is on disk in
+// the checkpoint file; resuming completes the run.
+var ErrCampaignStopped = errors.New("inject: campaign stopped by supervision hook (state checkpointed)")
+
+// ExperimentError is the typed per-experiment failure returned by
+// Run/RunParallel when quarantine is off. It supports errors.As and
+// errors.Unwrap; under parallelism the error of the lowest failing
+// plan index wins, matching serial semantics.
+type ExperimentError struct {
+	// PlanIndex is the experiment's position in the plan.
+	PlanIndex int
+	// Injection is the planned experiment that failed.
+	Injection Injection
+	// Attempts counts how many times the experiment was tried
+	// (1 + Supervision.Retries).
+	Attempts int
+	// Err is the underlying failure (instance construction error or a
+	// recovered worker panic).
+	Err error
+}
+
+func (e *ExperimentError) Error() string {
+	return fmt.Sprintf("inject: experiment %d (zone %d, %v at cycle %d) failed after %d attempt(s): %v",
+		e.PlanIndex, e.Injection.Zone, e.Injection.Fault.Kind, e.Injection.Cycle, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/errors.As.
+func (e *ExperimentError) Unwrap() error { return e.Err }
+
+// Quarantined records one experiment the supervisor gave up on: its
+// plan position, the injection descriptor and the final error. The
+// error is kept as a rendered string so reports and checkpoints stay
+// value-comparable and byte-stable.
+type Quarantined struct {
+	PlanIndex int
+	Injection Injection
+	// Attempts is how many times the experiment was tried before
+	// quarantine (1 + Supervision.Retries).
+	Attempts int
+	Err      string
+}
+
+// runRecovered executes one experiment with panic isolation: a worker
+// panic (a diverging peripheral model, an out-of-range fault site from
+// a hand-written plan) is converted into a per-experiment error
+// instead of killing the process.
+func (t *Target) runRecovered(g *Golden, inj Injection) (res ExpResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment panic: %v", r)
+		}
+	}()
+	return t.runOne(g, inj)
+}
+
+// runSupervised is runRecovered plus the retry policy. On persistent
+// failure it returns a typed *ExperimentError carrying the plan index.
+func (t *Target) runSupervised(g *Golden, plan []Injection, i int) (ExpResult, error) {
+	attempts := 1 + t.Supervision.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		res, err := t.runRecovered(g, plan[i])
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return ExpResult{}, &ExperimentError{
+		PlanIndex: i, Injection: plan[i], Attempts: attempts, Err: lastErr,
+	}
+}

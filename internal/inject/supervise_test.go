@@ -1,0 +1,226 @@
+package inject_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/netlist"
+)
+
+// poisonPlan returns a copy of the plan whose experiments at the given
+// indices flip a far-out-of-range flip-flop — Fault.Apply indexes the
+// simulator state with it, so running the experiment panics. This is
+// the stand-in for a diverging peripheral model or a corrupt
+// hand-written plan entry.
+func poisonPlan(plan []inject.Injection, indices ...int) []inject.Injection {
+	out := append([]inject.Injection(nil), plan...)
+	for _, i := range indices {
+		out[i].Fault = faults.FFFlip(netlist.FFID(1 << 20))
+	}
+	return out
+}
+
+// TestCycleBudgetWatchdog: a cycle budget shorter than the workload
+// terminates every experiment with the Aborted outcome instead of a
+// verdict, deterministically at any worker count, and the report
+// declares itself degraded.
+func TestCycleBudgetWatchdog(t *testing.T) {
+	target, g, plan := reducedCampaign(t, true)
+	tgt := *target
+	tgt.Supervision = inject.Supervision{CycleBudget: 3}
+	serial, err := tgt.Run(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serial.AbortedCount(); got != len(plan) {
+		t.Fatalf("AbortedCount = %d, want %d (budget shorter than every injection window)", got, len(plan))
+	}
+	if !serial.Degraded() {
+		t.Fatal("report with aborted experiments must be Degraded")
+	}
+	for _, workers := range []int{2, 8} {
+		tgt.Workers = workers
+		par, err := tgt.Run(g, plan)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: watchdog-aborted report differs from serial", workers)
+		}
+	}
+	// A budget longer than the workload must not disturb anything.
+	tgt = *target
+	tgt.Supervision = inject.Supervision{CycleBudget: g.Trace.Cycles() + 1}
+	rep, err := tgt.Run(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := target.Run(g, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, rep) {
+		t.Fatal("a non-binding cycle budget changed the report")
+	}
+}
+
+// TestWallBudgetWatchdog: the wall-clock guard uses the injected clock;
+// a clock that jumps past the deadline aborts the experiment, and a
+// nil clock disables the guard entirely.
+func TestWallBudgetWatchdog(t *testing.T) {
+	target, g, plan := reducedCampaign(t, false)
+	fake := time.Unix(0, 0)
+	tgt := *target
+	tgt.Supervision = inject.Supervision{
+		WallBudget: time.Second,
+		Clock: func() time.Time {
+			fake = fake.Add(2 * time.Second) // every sample blows the budget
+			return fake
+		},
+	}
+	rep, err := tgt.Run(g, plan[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.AbortedCount(); got != 4 {
+		t.Fatalf("AbortedCount = %d, want 4 (fake clock past deadline)", got)
+	}
+	// WallBudget without a clock is a no-op, not a nil dereference.
+	tgt.Supervision = inject.Supervision{WallBudget: time.Nanosecond}
+	rep, err = tgt.Run(g, plan[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.AbortedCount(); got != 0 {
+		t.Fatalf("wall budget with nil clock aborted %d experiment(s)", got)
+	}
+}
+
+// TestPanicQuarantine: worker panics are recovered, retried the
+// configured number of times and quarantined — exactly the poisoned
+// indices, with the campaign completing around them.
+func TestPanicQuarantine(t *testing.T) {
+	target, g, plan := reducedCampaign(t, true)
+	poisoned := poisonPlan(plan, 3, 7)
+	for _, workers := range []int{1, 8} {
+		tgt := *target
+		tgt.Workers = workers
+		tgt.Supervision = inject.Supervision{Quarantine: true, Retries: 2}
+		rep, err := tgt.Run(g, poisoned)
+		if err != nil {
+			t.Fatalf("workers=%d: quarantine run failed: %v", workers, err)
+		}
+		if len(rep.Quarantined) != 2 {
+			t.Fatalf("workers=%d: quarantined %d experiments, want 2", workers, len(rep.Quarantined))
+		}
+		for qi, want := range []int{3, 7} {
+			q := rep.Quarantined[qi]
+			if q.PlanIndex != want {
+				t.Fatalf("workers=%d: quarantined plan index %d, want %d", workers, q.PlanIndex, want)
+			}
+			if q.Injection != poisoned[want] {
+				t.Fatalf("workers=%d: quarantine record carries the wrong injection", workers)
+			}
+			if q.Attempts != 3 {
+				t.Fatalf("workers=%d: attempts = %d, want 3 (1 + 2 retries)", workers, q.Attempts)
+			}
+			if q.Err == "" {
+				t.Fatalf("workers=%d: quarantine record lost the error", workers)
+			}
+		}
+		if len(rep.Results) != len(plan)-2 {
+			t.Fatalf("workers=%d: campaign kept %d results, want %d", workers, len(rep.Results), len(plan)-2)
+		}
+		if !rep.Degraded() {
+			t.Fatalf("workers=%d: report with quarantined rows must be Degraded", workers)
+		}
+	}
+}
+
+// TestQuarantineConservativeAccounting: quarantined rows stay in the
+// zone measures — counted as experiments without a verdict, pulling
+// both measured fractions down (the λDU-conservative bound) and
+// flagging the worksheet cross-check row.
+func TestQuarantineConservativeAccounting(t *testing.T) {
+	target, g, plan := reducedCampaign(t, true)
+	poisoned := poisonPlan(plan, 0)
+	tgt := *target
+	tgt.Supervision = inject.Supervision{Quarantine: true}
+	rep, err := tgt.Run(g, poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone := poisoned[0].Zone
+	total := 0
+	for _, zm := range rep.ZoneMeasures(target.Analysis) {
+		total += zm.Experiments
+		if zm.Zone != zone {
+			continue
+		}
+		if zm.Quarantined != 1 {
+			t.Fatalf("zone %d shows %d quarantined, want 1", zone, zm.Quarantined)
+		}
+		if zm.DDFMeasured() == 1 && zm.DangerDet == 0 {
+			t.Fatal("quarantined row vanished from the DDF denominator")
+		}
+	}
+	if total != len(poisoned) {
+		t.Fatalf("zone measures account for %d experiments, want %d (quarantined rows included)", total, len(poisoned))
+	}
+}
+
+// TestExperimentErrorTyped: with quarantine off the campaign fails fast
+// with a typed *ExperimentError reachable through errors.As even after
+// wrapping, carrying the plan index, injection and underlying panic;
+// under parallelism the lowest failing plan index wins.
+func TestExperimentErrorTyped(t *testing.T) {
+	target, g, plan := reducedCampaign(t, false)
+	poisoned := poisonPlan(plan, 3, 7)
+	for _, workers := range []int{1, 8} {
+		tgt := *target
+		tgt.Workers = workers
+		_, err := tgt.Run(g, poisoned)
+		if err == nil {
+			t.Fatalf("workers=%d: poisoned campaign succeeded", workers)
+		}
+		wrapped := fmt.Errorf("campaign: %w", err)
+		var ee *inject.ExperimentError
+		if !errors.As(wrapped, &ee) {
+			t.Fatalf("workers=%d: error %v is not an *ExperimentError", workers, err)
+		}
+		if ee.PlanIndex != 3 {
+			t.Fatalf("workers=%d: failing plan index %d, want 3 (lowest index wins)", workers, ee.PlanIndex)
+		}
+		if ee.Injection != poisoned[3] {
+			t.Fatalf("workers=%d: ExperimentError carries the wrong injection", workers)
+		}
+		if ee.Attempts != 1 {
+			t.Fatalf("workers=%d: attempts = %d, want 1 (no retries configured)", workers, ee.Attempts)
+		}
+		if ee.Unwrap() == nil {
+			t.Fatalf("workers=%d: ExperimentError must unwrap to the recovered panic", workers)
+		}
+	}
+}
+
+// TestRetriesExhaustPersistentFailure: a deterministic panic fails all
+// 1+N attempts, and the attempt count is reported faithfully.
+func TestRetriesExhaustPersistentFailure(t *testing.T) {
+	target, g, plan := reducedCampaign(t, false)
+	poisoned := poisonPlan(plan, 0)
+	tgt := *target
+	tgt.Supervision = inject.Supervision{Retries: 4}
+	_, err := tgt.Run(g, poisoned[:1])
+	var ee *inject.ExperimentError
+	if !errors.As(err, &ee) {
+		t.Fatalf("got %v, want *ExperimentError", err)
+	}
+	if ee.Attempts != 5 {
+		t.Fatalf("attempts = %d, want 5 (1 + 4 retries)", ee.Attempts)
+	}
+}

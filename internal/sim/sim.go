@@ -44,6 +44,10 @@ type Simulator struct {
 	bridgeDrive map[netlist.NetID]Value
 
 	cycle int64
+
+	// cooperative cycle budget (campaign watchdog); see SetCycleBudget.
+	budget     int64
+	budgetUsed int64
 }
 
 // BridgeOp selects the resolution function of a bridging fault.
@@ -97,6 +101,24 @@ func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
 
 // Cycle returns the number of clock edges applied since the last Reset.
 func (s *Simulator) Cycle() int64 { return s.cycle }
+
+// SetCycleBudget arms a cooperative per-instance cycle watchdog: every
+// Step consumes one unit, and once n units are spent BudgetExceeded
+// reports true and Run stops stepping. Nothing inside the simulator
+// aborts on its own — the driver (the campaign supervisor) polls
+// BudgetExceeded between cycles and terminates the experiment, which
+// keeps the mechanism deterministic. n <= 0 disarms the budget. The
+// budget survives Reset, like fault forces: a watchdog must not heal
+// when the workload resets the DUT.
+func (s *Simulator) SetCycleBudget(n int64) {
+	s.budget = n
+	s.budgetUsed = 0
+}
+
+// BudgetExceeded reports whether the armed cycle budget is spent.
+func (s *Simulator) BudgetExceeded() bool {
+	return s.budget > 0 && s.budgetUsed >= s.budget
+}
 
 // AttachPeripheral registers a behavioral component. Peripherals are
 // ticked in attach order on every Step.
@@ -484,12 +506,18 @@ func (s *Simulator) Step() {
 		p.Commit(set)
 	}
 	s.cycle++
+	s.budgetUsed++
 	s.Eval()
 }
 
-// Run steps the clock n times.
+// Run steps the clock n times, stopping early once an armed cycle
+// budget is exhausted (the caller polls BudgetExceeded to distinguish
+// a finished run from a watchdog stop).
 func (s *Simulator) Run(cycles int) {
 	for i := 0; i < cycles; i++ {
+		if s.BudgetExceeded() {
+			return
+		}
 		s.Step()
 	}
 }

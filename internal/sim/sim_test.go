@@ -497,3 +497,31 @@ func TestBridgeFeedbackOscillationGoesX(t *testing.T) {
 		t.Errorf("oscillating bridge should yield X, got %d", v)
 	}
 }
+
+// TestCycleBudget: the cooperative watchdog counter stops Run at the
+// budget, survives Reset (a watchdog must not heal when the workload
+// resets the DUT), and disarms at n <= 0.
+func TestCycleBudget(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	s.SetCycleBudget(5)
+	s.Run(100)
+	if s.Cycle() != 5 {
+		t.Fatalf("Run with budget 5 stepped to cycle %d", s.Cycle())
+	}
+	if !s.BudgetExceeded() {
+		t.Fatal("BudgetExceeded false after the budget was spent")
+	}
+	s.Reset()
+	if !s.BudgetExceeded() {
+		t.Fatal("Reset healed the cycle budget")
+	}
+	s.SetCycleBudget(0)
+	if s.BudgetExceeded() {
+		t.Fatal("disarmed budget still reports exceeded")
+	}
+	s.Run(7)
+	if s.Cycle() != 7 {
+		t.Fatalf("unbudgeted Run stepped to cycle %d, want 7", s.Cycle())
+	}
+}
