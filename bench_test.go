@@ -29,6 +29,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/mission"
 	"repro/internal/netlist"
+	"repro/internal/telemetry"
 	"repro/internal/zones"
 )
 
@@ -717,6 +718,67 @@ func BenchmarkE17_ResumedCampaign(b *testing.B) {
 	perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
 	b.ReportMetric(1/perExp, "exp/s")
 	b.ReportMetric(resumed.Seconds()/uninterrupted.Seconds(), "overhead")
+}
+
+// ---------- E18: telemetry hot-path overhead — the out-of-band contract
+// in numbers. The campaign runs once bare (Telemetry nil: one pointer
+// check per hook) and once with a live metrics hub in the no-op-sink
+// configuration (counters + histograms, no journal, no clock); the
+// overhead must stay within noise (<2%). The reports must also be
+// identical, the cheap half of the neutrality matrix test. ----------
+
+func BenchmarkE18_TelemetryOverhead(b *testing.B) {
+	c2 := campaign(b, true)
+	plan := inject.BuildPlan(c2.an, c2.golden, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 1})
+	plan = append(plan, inject.WidePlan(c2.an, c2.golden, 12, 2)...)
+
+	runWith := func(tel *telemetry.Campaign) *inject.Report {
+		tgt := *c2.target // never mutate the shared cached fixture
+		tgt.Telemetry = tel
+		rep, err := tgt.Run(c2.golden, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	// Warm both paths, check neutrality, then time a fixed number of
+	// alternating runs so the comparison shares cache and GC state.
+	ref := runWith(nil)
+	if rep := runWith(telemetry.NewCampaign(nil, nil)); !reflect.DeepEqual(ref, rep) {
+		b.Fatal("instrumented report differs from bare report")
+	}
+	const rounds = 5
+	timeRuns := func(tel *telemetry.Campaign) float64 {
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			runWith(tel)
+		}
+		return time.Since(start).Seconds() / rounds
+	}
+	bare := timeRuns(nil)
+	instr := timeRuns(telemetry.NewCampaign(nil, nil))
+	overheadPct := 100 * (instr - bare) / bare
+	once("E18", func() {
+		fmt.Printf("\n[E18] telemetry overhead (no-op sink: atomic counters, no journal/clock):\n")
+		fmt.Printf("[E18] bare %.3fs vs instrumented %.3fs per campaign — overhead %+.2f%% (target <2%%)\n",
+			bare, instr, overheadPct)
+	})
+	for _, mode := range []struct {
+		name string
+		tel  func() *telemetry.Campaign
+	}{
+		{"telemetry=off", func() *telemetry.Campaign { return nil }},
+		{"telemetry=on", func() *telemetry.Campaign { return telemetry.NewCampaign(nil, nil) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runWith(mode.tel())
+			}
+			perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
+			b.ReportMetric(1/perExp, "exp/s")
+		})
+	}
+	b.ReportMetric(overheadPct, "overhead%")
 }
 
 // ---------- X1 (extension): the fault-robust microcontroller direction —

@@ -9,6 +9,14 @@
 // (-checkpoint, -resume) — a resumed campaign's report is byte-
 // identical to an uninterrupted run.
 //
+// Campaign execution is also observable, strictly out-of-band (the
+// stdout report stays byte-identical with every option off or on):
+// -journal writes a JSONL lifecycle journal (validated by
+// tools/checkjournal), -progress prints periodic stderr snapshots
+// (done/total, exp/s, worker utilization, retries, quarantines, ETA),
+// and -status serves expvar + net/http/pprof + a /progress JSON
+// endpoint for live campaigns (binds 127.0.0.1 for a bare ":port").
+//
 // Exit codes: 0 success; 1 fatal error; 2 flag/usage error;
 // 3 experiments quarantined (campaign degraded); 4 campaign coverage
 // incomplete (Coverage.Complete() false — the CI gate).
@@ -26,9 +34,17 @@ import (
 	"repro/internal/inject"
 	"repro/internal/memsys"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes the campaign and returns the process exit code; keeping
+// os.Exit out of the work path lets the telemetry teardown (journal
+// flush, final progress line, status-server close) run on every exit.
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("injector: ")
 	design := flag.String("design", "v2", "implementation: v1 or v2")
@@ -48,6 +64,9 @@ func main() {
 	expTimeout := flag.Duration("exp-timeout", 0, "max wall-clock per experiment (0 = unlimited; nondeterministic last-resort hang guard)")
 	retries := flag.Int("retries", 0, "retry a failing experiment up to N more times before quarantining it")
 	requireCoverage := flag.Bool("require-coverage", true, "exit 4 when campaign coverage is incomplete")
+	journalPath := flag.String("journal", "", "write the JSONL campaign journal (lifecycle events) to this file")
+	progressEvery := flag.Duration("progress", 0, "print periodic campaign progress to stderr at this interval (0 = off)")
+	statusAddr := flag.String("status", "", "serve expvar + pprof + /progress on this address (a bare \":port\" binds 127.0.0.1)")
 	flag.Parse()
 
 	usageErr := func(format string, args ...any) {
@@ -76,6 +95,49 @@ func main() {
 	if *transient < 0 || *permanent < 0 || *wide < 0 {
 		usageErr("experiment counts must be >= 0")
 	}
+	if *progressEvery < 0 {
+		usageErr("-progress must be >= 0, got %v", *progressEvery)
+	}
+
+	// Telemetry hub: created when any observability flag is on. It is
+	// out-of-band by construction — journal to its file, progress to
+	// stderr, status over HTTP — so the stdout report bytes never
+	// depend on it.
+	var tel *telemetry.Campaign
+	if *journalPath != "" || *progressEvery > 0 || *statusAddr != "" {
+		var journal *telemetry.Journal
+		if *journalPath != "" {
+			var err error
+			journal, err = telemetry.OpenJournal(*journalPath, telemetry.SystemClock)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+		}
+		tel = telemetry.NewCampaign(journal, telemetry.SystemClock)
+		if *statusAddr != "" {
+			srv, err := telemetry.ServeStatus(*statusAddr, tel)
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			log.Printf("status endpoint: http://%s/progress (expvar at /debug/vars, pprof at /debug/pprof/)", srv.Addr)
+			defer srv.Close()
+		}
+		if *progressEvery > 0 {
+			rep := telemetry.StartReporter(os.Stderr, tel, *progressEvery)
+			defer rep.Stop()
+		}
+		defer func() {
+			if err := journal.Close(); err != nil {
+				log.Printf("journal: %v", err)
+			}
+		}()
+	}
+	fatal := func(err error) int {
+		log.Print(err)
+		return 1
+	}
 
 	var cfg memsys.Config
 	switch *design {
@@ -87,13 +149,15 @@ func main() {
 		usageErr("unknown design %q", *design)
 	}
 	cfg.AddrWidth = *addrWidth
+	tel.Phase("build")
 	d, err := memsys.Build(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return fatal(err)
 	}
+	tel.Phase("zone-extraction")
 	a, err := d.Analyze()
 	if err != nil {
-		log.Fatal(err)
+		return fatal(err)
 	}
 	target := d.InjectionTargetSeeded(a, d.SeedFaults())
 	target.Workers = *workers
@@ -107,12 +171,14 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		Resume:          *resume,
 	}
+	target.Telemetry = tel
 	tr := d.ValidationWorkload(*words, *seed)
 	fmt.Printf("%s: workload %d cycles, %d zones\n", cfg.Name, tr.Cycles(), len(a.Zones))
 
+	tel.Phase("golden-run")
 	g, err := target.RunGolden(tr)
 	if err != nil {
-		log.Fatal(err)
+		return fatal(err)
 	}
 	if ok, inactive := g.CompletenessOK(); !ok {
 		fmt.Printf("WARNING: workload leaves %d zones untriggered\n", len(inactive))
@@ -120,6 +186,7 @@ func main() {
 		fmt.Println("workload completeness: PASS (every zone triggered)")
 	}
 
+	tel.Phase("plan")
 	pcfg := inject.PlanConfig{TransientPerZone: *transient, PermanentPerZone: *permanent, Seed: *seed}
 	plan := inject.BuildPlan(a, g, pcfg)
 	plan = append(plan, inject.WidePlan(a, g, *wide, *seed+1)...)
@@ -131,10 +198,12 @@ func main() {
 		log.Printf("resuming from checkpoint %s (plan hash %016x)", *checkpoint, inject.PlanHash(plan))
 	}
 	fmt.Printf("running %d injection experiments on %d worker(s)...\n", len(plan), effective)
+	tel.Phase("campaign")
 	rep, err := target.Run(g, plan)
 	if err != nil {
-		log.Fatal(err)
+		return fatal(err)
 	}
+	tel.Phase("analysis")
 
 	cov := rep.Coverage
 	fmt.Printf("coverage: SENS %s  OBSE %s  DIAG %s  (%d mismatches)\n",
@@ -178,7 +247,9 @@ func main() {
 		report.Pct(inject.PassFraction(rows)), len(rows), bad)
 
 	if *vcd != "" {
-		recordVCDs(*vcd, target, g, rep)
+		if err := recordVCDs(*vcd, target, g, rep); err != nil {
+			return fatal(err)
+		}
 	}
 
 	inconsistent := 0
@@ -195,37 +266,41 @@ func main() {
 
 	if len(rep.Quarantined) > 0 {
 		log.Printf("campaign degraded: %d experiment(s) quarantined", len(rep.Quarantined))
-		os.Exit(3)
+		return 3
 	}
 	if *requireCoverage && !cov.Complete() {
 		log.Printf("campaign coverage incomplete (SENS %s OBSE %s DIAG %s); failing the gate",
 			report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()))
-		os.Exit(4)
+		return 4
 	}
+	return 0
 }
 
 // recordVCDs dumps the golden waveform plus the first dangerous-
 // undetected experiment's faulty waveform for debugging.
-func recordVCDs(prefix string, target *inject.Target, g *inject.Golden, rep *inject.Report) {
-	write := func(path string, inj *inject.Injection) {
+func recordVCDs(prefix string, target *inject.Target, g *inject.Golden, rep *inject.Report) error {
+	write := func(path string, inj *inject.Injection) error {
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := target.RecordVCD(g, inj, f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
-	write(prefix+"_golden.vcd", nil)
+	if err := write(prefix+"_golden.vcd", nil); err != nil {
+		return err
+	}
 	for i := range rep.Results {
 		if rep.Results[i].Outcome == inject.DangerousUndetected {
-			write(prefix+"_faulty.vcd", &rep.Results[i].Injection)
-			return
+			return write(prefix+"_faulty.vcd", &rep.Results[i].Injection)
 		}
 	}
 	if len(rep.Results) > 0 {
-		write(prefix+"_faulty.vcd", &rep.Results[0].Injection)
+		return write(prefix+"_faulty.vcd", &rep.Results[0].Injection)
 	}
+	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/iec61508"
 	"repro/internal/inject"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/zones"
 )
@@ -65,6 +66,10 @@ type Options struct {
 	// target. The zero value is fail-fast: any experiment failure
 	// aborts the flow, as before.
 	Supervision inject.Supervision
+	// Telemetry is the observability hub threaded through the flow
+	// (phase transitions, campaign lifecycle events, metrics). nil
+	// disables the layer; the assessment is byte-identical either way.
+	Telemetry *telemetry.Campaign
 }
 
 // DefaultOptions mirrors the paper's defaults: SIL3 target at HFT 0,
@@ -139,10 +144,13 @@ func (as *Assessment) CampaignHealthy() bool {
 
 // Run executes the flow over a DUT.
 func Run(dut DUT, opts Options) (*Assessment, error) {
+	tel := opts.Telemetry
+	tel.Phase("zone-extraction")
 	a, err := dut.Analyze()
 	if err != nil {
 		return nil, fmt.Errorf("core: zone extraction: %w", err)
 	}
+	tel.Phase("worksheet")
 	w := dut.Worksheet(a, opts.Rates)
 	m := w.Totals()
 	as := &Assessment{
@@ -156,6 +164,7 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 	}
 	as.TargetMet = as.SIL >= opts.TargetSIL
 	if !opts.SkipDRC {
+		tel.Phase("drc-preflight")
 		as.DRC, err = drc.Run(drc.Input{
 			Netlist: a.N, Analysis: a, Worksheet: w, Rates: &opts.Rates,
 		}, opts.DRC)
@@ -169,6 +178,8 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 
 	target := dut.Target(a)
 	target.Supervision = opts.Supervision
+	target.Telemetry = tel
+	tel.Phase("golden-run")
 	golden, err := target.RunGolden(dut.ValidationTrace())
 	if err != nil {
 		return nil, fmt.Errorf("core: golden run: %w", err)
@@ -180,12 +191,14 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 		v.InactiveZones = append(v.InactiveZones, a.Zones[zi].Name)
 	}
 	plan := inject.BuildPlan(a, golden, opts.Plan)
+	tel.Phase("zone-campaign")
 	v.Report, err = target.Run(golden, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: injection campaign: %w", err)
 	}
 	if opts.WideFaults > 0 {
 		widePlan := inject.WidePlan(a, golden, opts.WideFaults, opts.Plan.Seed+1)
+		tel.Phase("wide-campaign")
 		v.WideReport, err = target.Run(golden, widePlan)
 		if err != nil {
 			return nil, fmt.Errorf("core: wide/global campaign: %w", err)
@@ -208,6 +221,7 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 			v.EffectsOK = false
 		}
 	}
+	tel.Phase("toggle-coverage")
 	toggleRep, err := target.ToggleCoverage(dut.CoverageTrace())
 	if err != nil {
 		return nil, fmt.Errorf("core: toggle measurement: %w", err)

@@ -18,13 +18,14 @@ import (
 // must not be called while a pass is in flight on the receiver.
 func (e *Engine) Clone() *Engine {
 	return &Engine{
-		n:      e.n,
-		order:  e.order,
-		values: make([]uint64, len(e.values)),
-		state:  make([]uint64, len(e.state)),
-		netOr:  make(map[netlist.NetID]uint64),
-		netClr: make(map[netlist.NetID]uint64),
-		pin:    make(map[netlist.GateID][]pinMask),
+		n:         e.n,
+		order:     e.order,
+		values:    make([]uint64, len(e.values)),
+		state:     make([]uint64, len(e.state)),
+		netOr:     make(map[netlist.NetID]uint64),
+		netClr:    make(map[netlist.NetID]uint64),
+		pin:       make(map[netlist.GateID][]pinMask),
+		Telemetry: e.Telemetry, // shared hub; counters are atomic
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/netlist"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,11 @@ type Engine struct {
 	netOr  map[netlist.NetID]uint64
 	netClr map[netlist.NetID]uint64
 	pin    map[netlist.GateID][]pinMask
+
+	// Telemetry counts faults/passes/cycles out-of-band (nil = off).
+	// Clones share the hub, so parallel shards aggregate into one set
+	// of counters.
+	Telemetry *telemetry.Campaign
 }
 
 type pinMask struct {
@@ -125,6 +131,8 @@ func (e *Engine) runChunk(tr *workload.Trace, portNets [][]netlist.NetID, funcOb
 		per[i].Func = funcMask>>lane&1 == 1
 		per[i].Diag = diagMask>>lane&1 == 1
 	}
+	e.Telemetry.AddFaultsSimulated(int64(len(chunk)))
+	e.Telemetry.AddSimCycles(int64(tr.Cycles()))
 }
 
 // resolvePorts maps the trace's input ports onto netlist nets once per

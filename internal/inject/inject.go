@@ -19,6 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/netlist"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/zones"
 )
@@ -41,6 +42,12 @@ type Target struct {
 	// watchdog budgets, retry/quarantine and checkpoint/resume. The
 	// zero value keeps the historical fail-fast behavior.
 	Supervision Supervision
+	// Telemetry is the campaign observability hub (metrics, journal,
+	// progress) — nil disables the layer at the cost of one pointer
+	// check per hook. Telemetry is strictly out-of-band: the campaign
+	// report is byte-identical with it on or off (see the neutrality
+	// matrix test).
+	Telemetry *telemetry.Campaign
 }
 
 // obsTrace is the recorded (value, xmask) stream of one observation
@@ -104,6 +111,7 @@ func (t *Target) RunGolden(tr *workload.Trace) (*Golden, error) {
 			prev = v
 		}
 	}
+	t.Telemetry.AddSimCycles(int64(tr.Cycles()))
 	return g, nil
 }
 

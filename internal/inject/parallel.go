@@ -12,10 +12,15 @@ import (
 
 // covIndex maps observation-point indices onto the coverage item arrays
 // (functional OBSE items vs diagnostic DIAG items). It is derived once
-// per campaign and shared read-only by the merge path.
+// per campaign and shared read-only by the merge path. funcSlot and
+// diagSlot are the inverse maps — observation-point index to its slot
+// in ObseSeen/DiagSeen, -1 when the point is of the other kind — so
+// absorbing a deviation is O(1) instead of a scan over every item.
 type covIndex struct {
-	funcIdx []int
-	diagIdx []int
+	funcIdx  []int
+	diagIdx  []int
+	funcSlot []int
+	diagSlot []int
 }
 
 // newReport allocates an empty campaign report with the coverage item
@@ -24,11 +29,17 @@ type covIndex struct {
 func newReport(a *zones.Analysis) (*Report, covIndex) {
 	rep := &Report{}
 	rep.Coverage.SensZones = make([]bool, len(a.Zones))
-	var ci covIndex
+	ci := covIndex{
+		funcSlot: make([]int, len(a.Obs)),
+		diagSlot: make([]int, len(a.Obs)),
+	}
 	for oi := range a.Obs {
+		ci.funcSlot[oi], ci.diagSlot[oi] = -1, -1
 		if a.Obs[oi].Kind == zones.Diagnostic {
+			ci.diagSlot[oi] = len(ci.diagIdx)
 			ci.diagIdx = append(ci.diagIdx, oi)
 		} else {
+			ci.funcSlot[oi] = len(ci.funcIdx)
 			ci.funcIdx = append(ci.funcIdx, oi)
 		}
 	}
@@ -49,15 +60,11 @@ func (rep *Report) absorb(res ExpResult, ci covIndex) {
 	}
 	for _, oi := range res.Deviated {
 		rep.Coverage.Mismatches++
-		for fi, idx := range ci.funcIdx {
-			if idx == oi {
-				rep.Coverage.ObseSeen[fi] = true
-			}
+		if s := ci.funcSlot[oi]; s >= 0 {
+			rep.Coverage.ObseSeen[s] = true
 		}
-		for di, idx := range ci.diagIdx {
-			if idx == oi {
-				rep.Coverage.DiagSeen[di] = true
-			}
+		if s := ci.diagSlot[oi]; s >= 0 {
+			rep.Coverage.DiagSeen[s] = true
 		}
 	}
 }
@@ -126,11 +133,19 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	if sup.Checkpoint != "" && sup.CheckpointEvery <= 0 {
 		sup.CheckpointEvery = defaultCheckpointEvery
 	}
+	tel := t.Telemetry
+	if tel != nil {
+		tel.PlanBuilt(len(plan), workers, PlanHash(plan))
+	}
 
 	st := &campaignState{slots: make([]expSlot, len(plan))}
 	if sup.Resume && sup.Checkpoint != "" {
-		if err := st.preload(sup.Checkpoint, plan); err != nil {
+		nres, nquar, err := st.preload(sup.Checkpoint, plan)
+		if err != nil {
 			return nil, err
+		}
+		if nres+nquar > 0 {
+			tel.CheckpointLoad(nres, nquar)
 		}
 	}
 
@@ -147,9 +162,13 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		st.sinceCkpt++
 		stopping := sup.StopAfter > 0 && st.completed >= sup.StopAfter
 		if sup.Checkpoint != "" && (st.sinceCkpt >= sup.CheckpointEvery || stopping) {
-			if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil && ckptErr == nil {
-				ckptErr = err
-				stopping = true
+			if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil {
+				if ckptErr == nil {
+					ckptErr = err
+					stopping = true
+				}
+			} else {
+				tel.CheckpointWrite(st.completed)
 			}
 			st.sinceCkpt = 0
 		}
@@ -166,6 +185,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 			if st.slots[i].done { // preloaded from the checkpoint
 				continue
 			}
+			expStart := tel.ExpStart(i)
 			res, err := t.runSupervised(g, plan, i)
 			st.mu.Lock()
 			if err != nil {
@@ -174,13 +194,16 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 					st.slots[i] = expSlot{done: true, quar: true, q: Quarantined{
 						PlanIndex: i, Injection: plan[i], Attempts: ee.Attempts, Err: ee.Err.Error(),
 					}}
+					tel.Quarantine(i, ee.Attempts, ee.Err.Error())
 					finish()
 				} else {
 					errs[i] = err
 					stopped.Store(true)
+					tel.ExpFinish(i, "error", false, 0, -1, expStart)
 				}
 			} else {
 				st.slots[i] = expSlot{done: true, res: res}
+				tel.ExpFinish(i, res.Outcome.String(), res.Sens, len(res.Deviated), res.FirstDevCycle, expStart)
 				finish()
 			}
 			st.mu.Unlock()
@@ -216,6 +239,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil {
 			return nil, err
 		}
+		tel.CheckpointWrite(st.completed)
 	}
 
 	rep, ci := newReport(t.Analysis)
@@ -227,19 +251,21 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 			rep.absorb(s.res, ci)
 		}
 	}
+	tel.Summary()
 	return rep, nil
 }
 
-// preload fills completion slots from a checkpoint file. A missing
-// file is a fresh start, not an error; an unreadable or mismatched one
-// aborts before any simulation is spent.
-func (st *campaignState) preload(path string, plan []Injection) error {
+// preload fills completion slots from a checkpoint file, reporting how
+// many result and quarantine records it restored. A missing file is a
+// fresh start, not an error; an unreadable or mismatched one aborts
+// before any simulation is spent.
+func (st *campaignState) preload(path string, plan []Injection) (results, quarantined int, err error) {
 	ck, err := LoadCheckpoint(path, plan)
 	if os.IsNotExist(err) {
-		return nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("inject: resume: %w", err)
+		return 0, 0, fmt.Errorf("inject: resume: %w", err)
 	}
 	for _, ir := range ck.Results {
 		st.slots[ir.PlanIndex] = expSlot{done: true, res: ir.Result}
@@ -247,5 +273,5 @@ func (st *campaignState) preload(path string, plan []Injection) error {
 	for _, q := range ck.Quarantined {
 		st.slots[q.PlanIndex] = expSlot{done: true, quar: true, q: q}
 	}
-	return nil
+	return len(ck.Results), len(ck.Quarantined), nil
 }

@@ -167,6 +167,7 @@ func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
 	for c := 0; c < tr.Cycles(); c++ {
 		if s.BudgetExceeded() || wallCheck(c) {
 			res.Outcome = Aborted
+			t.Telemetry.AddSimCycles(int64(c))
 			return res, nil
 		}
 		tr.ApplyTo(s, c)
@@ -221,5 +222,6 @@ func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
 	if inj.Fault.Kind == faults.Flip {
 		res.Sens = true
 	}
+	t.Telemetry.AddSimCycles(int64(tr.Cycles()))
 	return res, nil
 }

@@ -133,6 +133,9 @@ func (t *Target) runRecovered(g *Golden, inj Injection) (res ExpResult, err erro
 
 // runSupervised is runRecovered plus the retry policy. On persistent
 // failure it returns a typed *ExperimentError carrying the plan index.
+// Each failed attempt that will be retried is reported to the
+// telemetry hub (out-of-band; the report never sees retries that
+// eventually succeeded).
 func (t *Target) runSupervised(g *Golden, plan []Injection, i int) (ExpResult, error) {
 	attempts := 1 + t.Supervision.Retries
 	if attempts < 1 {
@@ -145,6 +148,9 @@ func (t *Target) runSupervised(g *Golden, plan []Injection, i int) (ExpResult, e
 			return res, nil
 		}
 		lastErr = err
+		if a+1 < attempts {
+			t.Telemetry.Retry(i, a+1, err.Error())
+		}
 	}
 	return ExpResult{}, &ExperimentError{
 		PlanIndex: i, Injection: plan[i], Attempts: attempts, Err: lastErr,

@@ -1,0 +1,131 @@
+package inject_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/telemetry"
+)
+
+// instrumented attaches a full telemetry stack — journal into a buffer
+// (clockless, so the test itself stays deterministic), metrics registry,
+// progress snapshots — to a copy of the target.
+func instrumented(target *inject.Target) (*inject.Target, *telemetry.Campaign, *bytes.Buffer) {
+	var buf bytes.Buffer
+	tel := telemetry.NewCampaign(telemetry.NewJournal(&buf, nil), nil)
+	tgt := *target
+	tgt.Telemetry = tel
+	return &tgt, tel, &buf
+}
+
+// TestTelemetryNeutralityMatrix is the out-of-band contract of the
+// telemetry layer: with journal + metrics + progress snapshots enabled,
+// the merged campaign report must be byte-identical to the
+// uninstrumented serial reference — across worker counts, on both case
+// studies, and across a mid-campaign checkpoint resume.
+func TestTelemetryNeutralityMatrix(t *testing.T) {
+	for _, v2 := range []bool{false, true} {
+		name := "v1"
+		if v2 {
+			name = "v2"
+		}
+		t.Run(name, func(t *testing.T) {
+			target, g, plan := reducedCampaign(t, v2)
+			ref, err := target.Run(g, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refRender := fmt.Sprintf("%#v", ref)
+
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					tgt, tel, journal := instrumented(target)
+					tgt.Workers = workers
+					rep, err := tgt.Run(g, plan)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ref, rep) {
+						t.Fatal("instrumented report differs from uninstrumented reference")
+					}
+					if fmt.Sprintf("%#v", rep) != refRender {
+						t.Fatal("instrumented report renders differently from reference")
+					}
+					// The telemetry must actually have observed the campaign —
+					// a no-op hub would make neutrality vacuous. Close flushes
+					// the journal's buffered tail into the byte buffer.
+					if err := tel.Journal.Close(); err != nil {
+						t.Fatal(err)
+					}
+					snap := tel.Snapshot()
+					if snap.Done != int64(len(plan)) {
+						t.Fatalf("telemetry saw %d done, want %d", snap.Done, len(plan))
+					}
+					if snap.SimCycles == 0 {
+						t.Fatal("telemetry saw no simulated cycles")
+					}
+					for _, ev := range []string{`"ev":"campaign_start"`, `"ev":"exp_finish"`, `"ev":"summary"`} {
+						if !strings.Contains(journal.String(), ev) {
+							t.Fatalf("journal missing %s event", ev)
+						}
+					}
+					if n := strings.Count(journal.String(), `"ev":"exp_finish"`); n != len(plan) {
+						t.Fatalf("journal has %d exp_finish events, want %d", n, len(plan))
+					}
+					// Progress snapshots are pure reads; pin the summary line
+					// shape while we have a finished campaign at hand.
+					line := snap.Line()
+					if !strings.HasPrefix(line, fmt.Sprintf("progress: %d/%d exp (100.0%%)", len(plan), len(plan))) {
+						t.Fatalf("unexpected progress line: %q", line)
+					}
+				})
+			}
+
+			t.Run("resume", func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "campaign.ckpt")
+				tgt, _, _ := instrumented(target)
+				tgt.Workers = 8
+				tgt.Supervision = inject.Supervision{
+					Checkpoint: path, CheckpointEvery: 1, StopAfter: len(plan) / 2,
+				}
+				if _, err := tgt.Run(g, plan); !errors.Is(err, inject.ErrCampaignStopped) {
+					t.Fatalf("interrupted run: got %v, want ErrCampaignStopped", err)
+				}
+				tgt, tel, journal := instrumented(target)
+				tgt.Workers = 8
+				tgt.Supervision = inject.Supervision{Checkpoint: path, Resume: true}
+				rep, err := tgt.Run(g, plan)
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				if !reflect.DeepEqual(ref, rep) {
+					t.Fatal("instrumented resumed report differs from reference")
+				}
+				if fmt.Sprintf("%#v", rep) != refRender {
+					t.Fatal("instrumented resumed report renders differently from reference")
+				}
+				// The resumed half arrives via checkpoint_load, the rest as
+				// live experiments; together they cover the plan.
+				if err := tel.Journal.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(journal.String(), `"ev":"checkpoint_load"`) {
+					t.Fatal("journal missing checkpoint_load event on resume")
+				}
+				snap := tel.Snapshot()
+				if snap.Done != int64(len(plan)) {
+					t.Fatalf("telemetry saw %d done after resume, want %d", snap.Done, len(plan))
+				}
+				if snap.Preloaded == 0 {
+					t.Fatal("telemetry saw no preloaded experiments on a mid-campaign resume")
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,284 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SystemClock is the wall clock for binaries (cmd/injector). Library
+// and report-feeding code must inject a clock instead of sampling one;
+// telemetry output is out-of-band by design, which is why this single
+// sampling point is exempt from the determinism linter.
+func SystemClock() time.Time {
+	return time.Now() //det:allow telemetry is out-of-band; reports never see this
+}
+
+// Campaign aggregates one process's campaign telemetry: the metric
+// registry, the optional JSONL journal and the rate bookkeeping behind
+// progress snapshots. Every method is safe on a nil receiver — the
+// engine instruments its hot paths unconditionally and a nil *Campaign
+// (telemetry off) costs one pointer check per call.
+type Campaign struct {
+	// Registry holds the campaign metrics; see campaign.go for the
+	// names the engine populates.
+	Registry *Registry
+	// Journal receives lifecycle events (nil = no journal).
+	Journal *Journal
+	// Clock drives timestamps, rates and ETA (nil = no wall-clock
+	// telemetry; counters and journal still work).
+	Clock func() time.Time
+
+	// Pre-resolved hot-path handles.
+	expStarted  *Counter
+	expDone     *Counter
+	retries     *Counter
+	quarantined *Counter
+	ckptWrites  *Counter
+	ckptLoads   *Counter
+	simCycles   *Counter
+	faultsDone  *Counter
+	simPasses   *Counter
+	mismatches  *Counter
+	inFlight    *Gauge
+	workers     *Gauge
+	planTotal   *Gauge
+	preloaded   *Gauge
+	deviatedH   *Histogram
+	expWallH    *Histogram
+
+	mu       sync.Mutex
+	outcomes map[string]*Counter
+	started  time.Time // first PlanBuilt with a clock
+}
+
+// NewCampaign builds a campaign telemetry hub. journal and clock may
+// each be nil; with both nil the campaign is a pure in-memory metric
+// sink (the no-op-sink configuration of BenchmarkE18).
+func NewCampaign(journal *Journal, clock func() time.Time) *Campaign {
+	r := NewRegistry()
+	return &Campaign{
+		Registry:    r,
+		Journal:     journal,
+		Clock:       clock,
+		expStarted:  r.Counter("exp_started"),
+		expDone:     r.Counter("exp_done"),
+		retries:     r.Counter("retries"),
+		quarantined: r.Counter("quarantined"),
+		ckptWrites:  r.Counter("checkpoint_writes"),
+		ckptLoads:   r.Counter("checkpoint_loads"),
+		simCycles:   r.Counter("sim_cycles"),
+		faultsDone:  r.Counter("faults_simulated"),
+		simPasses:   r.Counter("faultsim_passes"),
+		mismatches:  r.Counter("mismatch_points"),
+		inFlight:    r.Gauge("exp_in_flight"),
+		workers:     r.Gauge("workers"),
+		planTotal:   r.Gauge("plan_total"),
+		preloaded:   r.Gauge("preloaded"),
+		deviatedH:   r.Histogram("deviated_points", 0, 1, 2, 4, 8, 16, 32),
+		expWallH:    r.Histogram("exp_wall_us", 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000),
+		outcomes:    map[string]*Counter{},
+	}
+}
+
+// now returns the clock's time, or the zero time without a clock.
+func (c *Campaign) now() time.Time {
+	if c == nil || c.Clock == nil {
+		return time.Time{}
+	}
+	return c.Clock()
+}
+
+// PlanBuilt marks the start of one campaign run: the plan size, the
+// worker count and the plan fingerprint. Called once per Run/
+// RunParallel invocation; the plan_total gauge accumulates across
+// campaigns sharing the hub (e.g. zone + wide campaigns of core.Run).
+func (c *Campaign) PlanBuilt(total, workers int, planHash uint64) {
+	if c == nil {
+		return
+	}
+	c.planTotal.Add(int64(total))
+	c.workers.Set(int64(workers))
+	if c.Clock != nil {
+		c.mu.Lock()
+		if c.started.IsZero() {
+			c.started = c.Clock()
+		}
+		c.mu.Unlock()
+	}
+	c.Journal.Emit(EvCampaignStart, func(e *Enc) {
+		e.Int("total", int64(total))
+		e.Int("workers", int64(workers))
+		e.Hex("plan_hash", planHash)
+	})
+}
+
+// Phase records a flow phase transition (core.Run, cmd/injector).
+func (c *Campaign) Phase(name string) {
+	if c == nil {
+		return
+	}
+	c.Journal.Emit(EvPhase, func(e *Enc) { e.Str("name", name) })
+}
+
+// ExpStart marks one experiment entering a worker. It returns the
+// start time for ExpFinish (zero without a clock).
+func (c *Campaign) ExpStart(planIndex int) time.Time {
+	if c == nil {
+		return time.Time{}
+	}
+	c.expStarted.Inc()
+	c.inFlight.Add(1)
+	c.Journal.Emit(EvExpStart, func(e *Enc) { e.Int("i", int64(planIndex)) })
+	return c.now()
+}
+
+// ExpFinish marks one experiment verdict: its outcome label, the SENS
+// monitor, deviation fan-out and first deviation cycle. start is the
+// ExpStart return value.
+func (c *Campaign) ExpFinish(planIndex int, outcome string, sens bool, deviated, firstDev int, start time.Time) {
+	if c == nil {
+		return
+	}
+	c.expDone.Inc()
+	c.inFlight.Add(-1)
+	c.outcomeCounter(outcome).Inc()
+	c.mismatches.Add(int64(deviated))
+	c.deviatedH.Observe(int64(deviated))
+	if c.Clock != nil && !start.IsZero() {
+		c.expWallH.Observe(c.Clock().Sub(start).Microseconds())
+	}
+	c.Journal.Emit(EvExpFinish, func(e *Enc) {
+		e.Int("i", int64(planIndex))
+		e.Str("outcome", outcome)
+		e.Bool("sens", sens)
+		e.Int("deviated", int64(deviated))
+		e.Int("first_dev", int64(firstDev))
+	})
+}
+
+// Retry records one failed attempt that will be retried.
+func (c *Campaign) Retry(planIndex, attempt int, err string) {
+	if c == nil {
+		return
+	}
+	c.retries.Inc()
+	c.Journal.Emit(EvRetry, func(e *Enc) {
+		e.Int("i", int64(planIndex))
+		e.Int("attempt", int64(attempt))
+		e.Str("err", err)
+	})
+}
+
+// Quarantine records one experiment isolated after exhausting retries.
+func (c *Campaign) Quarantine(planIndex, attempts int, err string) {
+	if c == nil {
+		return
+	}
+	c.quarantined.Inc()
+	c.inFlight.Add(-1)
+	c.expDone.Inc()
+	c.Journal.Emit(EvQuarantine, func(e *Enc) {
+		e.Int("i", int64(planIndex))
+		e.Int("attempts", int64(attempts))
+		e.Str("err", err)
+	})
+}
+
+// CheckpointWrite records one checkpoint landing on disk.
+func (c *Campaign) CheckpointWrite(completed int) {
+	if c == nil {
+		return
+	}
+	c.ckptWrites.Inc()
+	c.Journal.Emit(EvCheckpointSave, func(e *Enc) { e.Int("completed", int64(completed)) })
+}
+
+// CheckpointLoad records a resume preloading completed results. The
+// preloaded experiments count as done (they are completed plan rows) —
+// the preloaded gauge lets rate math exclude them from exp/s.
+func (c *Campaign) CheckpointLoad(results, quarantined int) {
+	if c == nil {
+		return
+	}
+	c.ckptLoads.Inc()
+	c.preloaded.Set(int64(results + quarantined))
+	c.expDone.Add(int64(results + quarantined))
+	c.quarantined.Add(int64(quarantined))
+	c.Journal.Emit(EvCheckpointLoad, func(e *Enc) {
+		e.Int("results", int64(results))
+		e.Int("quarantined", int64(quarantined))
+	})
+}
+
+// AddSimCycles accumulates simulated cycles (golden + faulty runs).
+func (c *Campaign) AddSimCycles(n int64) {
+	if c == nil {
+		return
+	}
+	c.simCycles.Add(n)
+}
+
+// AddFaultsSimulated accumulates gate-level fault-simulation work: one
+// PPSFP pass covering n faults.
+func (c *Campaign) AddFaultsSimulated(n int64) {
+	if c == nil {
+		return
+	}
+	c.simPasses.Inc()
+	c.faultsDone.Add(n)
+}
+
+// Summary emits the end-of-campaign journal event from the live
+// counters.
+func (c *Campaign) Summary() {
+	if c == nil {
+		return
+	}
+	c.Journal.Emit(EvSummary, func(e *Enc) {
+		e.Int("done", c.expDone.Load())
+		e.Int("total", c.planTotal.Load())
+		e.Int("retries", c.retries.Load())
+		e.Int("quarantined", c.quarantined.Load())
+		e.Int("checkpoints", c.ckptWrites.Load())
+		e.Int("sim_cycles", c.simCycles.Load())
+		c.mu.Lock()
+		names := make([]string, 0, len(c.outcomes))
+		for name := range c.outcomes { //det:order collecting before sort
+			names = append(names, name)
+		}
+		c.mu.Unlock()
+		sort.Strings(names)
+		for _, name := range names {
+			e.Int("n_"+sanitizeKey(name), c.outcomeCounter(name).Load())
+		}
+	})
+}
+
+// outcomeCounter returns the per-outcome counter, creating
+// "exp_outcome_<label>" in the registry on first use.
+func (c *Campaign) outcomeCounter(outcome string) *Counter {
+	c.mu.Lock()
+	ctr, ok := c.outcomes[outcome]
+	if !ok {
+		ctr = c.Registry.Counter("exp_outcome_" + sanitizeKey(outcome))
+		c.outcomes[outcome] = ctr
+	}
+	c.mu.Unlock()
+	return ctr
+}
+
+// sanitizeKey maps an outcome label onto a metric-name-safe token.
+func sanitizeKey(s string) string {
+	b := []byte(s)
+	for i, ch := range b {
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= '0' && ch <= '9', ch == '_':
+		case ch >= 'A' && ch <= 'Z':
+			b[i] = ch + 'a' - 'A'
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// current is the campaign the process-wide expvar publication reads
+// from; ServeStatus installs its campaign here. expvar.Publish is
+// once-per-name for the process lifetime, so the variable indirects
+// through this pointer instead of capturing one campaign.
+var (
+	current    atomic.Pointer[Campaign]
+	publishVar sync.Once
+)
+
+// StatusServer is the live-campaign HTTP endpoint: /progress (campaign
+// snapshot JSON), /metrics (registry snapshot JSON), /debug/vars
+// (expvar, including the campaign registry) and /debug/pprof/*.
+//
+// Security note: the campaign endpoint is unauthenticated and pprof
+// exposes process internals, so ServeStatus binds loopback unless the
+// operator explicitly names an interface — an addr of the form ":8080"
+// becomes "127.0.0.1:8080".
+type StatusServer struct {
+	// Addr is the bound address (useful with a ":0" listener).
+	Addr string
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeStatus starts the status server for the campaign and returns
+// once the listener is bound (the HTTP loop runs in a goroutine).
+func ServeStatus(addr string, c *Campaign) (*StatusServer, error) {
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: status server: %w", err)
+	}
+	current.Store(c)
+	publishVar.Do(func() {
+		expvar.Publish("campaign", expvar.Func(func() any {
+			cc := current.Load()
+			if cc == nil || cc.Registry == nil {
+				return nil
+			}
+			return cc.Registry.Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, c.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if c == nil || c.Registry == nil {
+			http.Error(w, "no campaign", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, c.Registry.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &StatusServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Close shuts the listener down. In-flight requests get a short grace
+// period; the campaign itself is unaffected.
+func (s *StatusServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.srv.SetKeepAlivesEnabled(false)
+	return s.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck — best-effort status output
+}

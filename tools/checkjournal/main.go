@@ -1,0 +1,141 @@
+// Command checkjournal validates a campaign journal written by
+// cmd/injector -journal (or any telemetry.Journal) against the event
+// schema of DESIGN.md §10:
+//
+//   - every line is a standalone JSON object (JSONL, no torn lines);
+//   - "seq" is present and strictly increasing from 1;
+//   - "ev" names a known event, and the event carries its required
+//     fields with the right JSON types;
+//   - timestamps, when present, parse as RFC 3339.
+//
+// Exit 0 when the journal is well-formed, 1 with one diagnostic per
+// offending line otherwise, 2 on usage/IO errors. CI runs it over the
+// journal of a live smoke campaign, so a schema drift between the
+// telemetry package and this checker fails the build.
+//
+// Usage: checkjournal file.jsonl   (or "-" for stdin)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// required maps each event to its mandatory non-seq/ts/ev fields and
+// their expected JSON kinds ("string", "number", "bool").
+var required = map[string]map[string]string{
+	"campaign_start":   {"total": "number", "workers": "number", "plan_hash": "string"},
+	"phase":            {"name": "string"},
+	"exp_start":        {"i": "number"},
+	"exp_finish":       {"i": "number", "outcome": "string", "sens": "bool", "deviated": "number", "first_dev": "number"},
+	"retry":            {"i": "number", "attempt": "number", "err": "string"},
+	"quarantine":       {"i": "number", "attempts": "number", "err": "string"},
+	"checkpoint_write": {"completed": "number"},
+	"checkpoint_load":  {"results": "number", "quarantined": "number"},
+	"summary":          {"done": "number", "total": "number", "retries": "number", "quarantined": "number", "checkpoints": "number", "sim_cycles": "number"},
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkjournal file.jsonl  (use - for stdin)")
+		os.Exit(2)
+	}
+	var r io.Reader = os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkjournal: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	}
+	bad, lines, err := check(r, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkjournal: %v\n", err)
+		os.Exit(2)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "checkjournal: %d invalid line(s) of %d\n", bad, lines)
+		os.Exit(1)
+	}
+	fmt.Printf("checkjournal: %d event(s) OK\n", lines)
+}
+
+// check validates the stream, writing one diagnostic per bad line, and
+// returns (bad lines, total lines).
+func check(r io.Reader, diag io.Writer) (bad, lines int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var prevSeq float64
+	for sc.Scan() {
+		lines++
+		fail := func(format string, args ...any) {
+			bad++
+			fmt.Fprintf(diag, "line %d: %s\n", lines, fmt.Sprintf(format, args...))
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			fail("not a JSON object: %v", err)
+			continue
+		}
+		seq, ok := obj["seq"].(float64)
+		if !ok {
+			fail("missing numeric \"seq\"")
+			continue
+		}
+		if seq != prevSeq+1 {
+			fail("seq %v, want %v (strictly increasing from 1)", seq, prevSeq+1)
+		}
+		prevSeq = seq
+		if ts, present := obj["ts"]; present {
+			s, ok := ts.(string)
+			if !ok {
+				fail("\"ts\" is not a string")
+			} else if _, err := time.Parse(time.RFC3339Nano, s); err != nil {
+				fail("bad timestamp: %v", err)
+			}
+		}
+		ev, ok := obj["ev"].(string)
+		if !ok {
+			fail("missing string \"ev\"")
+			continue
+		}
+		fields, known := required[ev]
+		if !known {
+			fail("unknown event %q", ev)
+			continue
+		}
+		names := make([]string, 0, len(fields))
+		for name := range fields { //det:order collecting before sort
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			kind := fields[name]
+			v, present := obj[name]
+			if !present {
+				fail("%s: missing field %q", ev, name)
+				continue
+			}
+			okKind := false
+			switch kind {
+			case "string":
+				_, okKind = v.(string)
+			case "number":
+				_, okKind = v.(float64)
+			case "bool":
+				_, okKind = v.(bool)
+			}
+			if !okKind {
+				fail("%s: field %q is not a %s", ev, name, kind)
+			}
+		}
+	}
+	return bad, lines, sc.Err()
+}

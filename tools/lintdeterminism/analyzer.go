@@ -18,6 +18,13 @@
 //     Suppress a deliberate order-insensitive loop (pure accumulation)
 //     with a trailing "//det:order" comment on the range line.
 //
+// Escape hatch: a trailing "//det:allow <reason>" comment suppresses
+// det-timenow and det-globalrand on that line. The reason is mandatory —
+// a bare "//det:allow" suppresses nothing — so every exemption documents
+// why the read is legal (e.g. internal/telemetry's SystemClock, which is
+// the injected-clock seam of an out-of-band subsystem whose output never
+// feeds a report).
+//
 // The type-aware pass degrades gracefully: when full type information
 // is unavailable (e.g. an import cannot be resolved offline), the
 // import-table fallback still catches time.Now and math/rand, and map
@@ -108,10 +115,14 @@ func (p *Pass) checkFile(f *ast.File) {
 		imports[name] = path
 	}
 	suppressed := suppressedLines(p.Fset, f)
+	allowed := allowLines(p.Fset, f)
 
 	ast.Inspect(f, func(node ast.Node) bool {
 		switch n := node.(type) {
 		case *ast.SelectorExpr:
+			if allowed[p.Fset.Position(n.Pos()).Line] {
+				return true
+			}
 			p.checkSelector(n, imports)
 		case *ast.RangeStmt:
 			line := p.Fset.Position(n.Pos()).Line
@@ -185,6 +196,24 @@ func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
 			if strings.Contains(c.Text, "det:order") {
 				lines[fset.Position(c.Pos()).Line] = true
 			}
+		}
+	}
+	return lines
+}
+
+// allowLines collects the lines carrying a //det:allow directive WITH a
+// non-empty reason. A bare //det:allow is ignored on purpose: the
+// directive is an audited exemption, and the audit trail is the reason.
+func allowLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			reason, ok := strings.CutPrefix(text, "det:allow")
+			if !ok || strings.TrimSpace(reason) == "" {
+				continue
+			}
+			lines[fset.Position(c.Pos()).Line] = true
 		}
 	}
 	return lines

@@ -17,6 +17,8 @@ func TestDirtyFixture(t *testing.T) {
 		"11:det-timenow",
 		"15:det-globalrand",
 		"25:det-maprange",
+		"48:det-timenow",    // bare //det:allow (no reason) suppresses nothing
+		"52:det-globalrand", // likewise for the global generator
 	}
 	var got []string
 	for _, d := range diags {
@@ -44,10 +46,12 @@ func TestCleanFixture(t *testing.T) {
 }
 
 // TestRepoPackages runs the analyzer over the report-feeding packages —
-// the same gate CI applies. The repo root is two levels up from this
-// package directory.
+// the same gate CI applies. internal/telemetry is in the set too: its
+// only wall-clock read is the SystemClock seam, exempted by a reasoned
+// //det:allow, so the package must otherwise lint clean. The repo root
+// is two levels up from this package directory.
 func TestRepoPackages(t *testing.T) {
-	for _, pkg := range []string{"fmea", "inject", "report", "drc"} {
+	for _, pkg := range []string{"fmea", "inject", "report", "drc", "telemetry"} {
 		dir := filepath.Join("..", "..", "internal", pkg)
 		diags, err := lintDir(dir, false)
 		if err != nil {

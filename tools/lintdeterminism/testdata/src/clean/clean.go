@@ -18,6 +18,15 @@ func Draw(seed int64, n int) []int {
 	return out
 }
 
+// InjectedClockSeam mirrors internal/telemetry's SystemClock: the one
+// place an out-of-band subsystem may read the wall clock, exempted with
+// a reasoned directive.
+func InjectedClockSeam() func() time.Time {
+	return func() time.Time {
+		return time.Now() //det:allow out-of-band clock seam; never feeds a report
+	}
+}
+
 func SortedKeys(m map[string]int) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m { //det:order collecting before sort

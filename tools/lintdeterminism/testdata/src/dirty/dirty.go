@@ -43,3 +43,11 @@ func Slice(xs []int) int {
 	}
 	return total
 }
+
+func BareAllow() time.Time {
+	return time.Now() //det:allow
+}
+
+func BareAllowRand() int {
+	return rand.Int() //det:allow
+}
