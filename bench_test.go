@@ -781,6 +781,86 @@ func BenchmarkE18_TelemetryOverhead(b *testing.B) {
 	b.ReportMetric(overheadPct, "overhead%")
 }
 
+// ---------- E19: golden-snapshot warm start — each experiment resumes
+// from the golden snapshot at-or-before its injection cycle instead of
+// re-simulating the shared prefix. With injection cycles uniform over
+// the trace roughly half of all campaign cycles are redundant, so the
+// single-core serial speedup should approach 2×. ----------
+
+func BenchmarkE19_WarmStart(b *testing.B) {
+	c2 := campaign(b, true)
+	plan := inject.BuildPlan(c2.an, c2.golden, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 1})
+	plan = append(plan, inject.WidePlan(c2.an, c2.golden, 12, 2)...)
+	// Spread injection cycles uniformly over the trace (deterministic):
+	// the OP-guided plan clusters cycles early, which would understate
+	// the prefix a warm start can skip.
+	cycles := c2.golden.Trace.Cycles()
+	for i := range plan {
+		plan[i].Cycle = i * (cycles - 1) / max(len(plan)-1, 1)
+	}
+
+	coldTgt := *c2.target // never mutate the shared cached fixture
+	warmTgt := *c2.target
+	warmTgt.SnapshotEvery = 16
+	warmGolden, err := warmTgt.RunGolden(c2.golden.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	start := time.Now()
+	coldRep, err := coldTgt.Run(c2.golden, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldSerial := time.Since(start)
+	start = time.Now()
+	warmRep, err := warmTgt.Run(warmGolden, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmSerial := time.Since(start)
+	if !reflect.DeepEqual(coldRep, warmRep) {
+		b.Fatal("warm-start serial report differs from cold-start serial report")
+	}
+	// Byte-identity at every tested worker count against the cold
+	// serial reference — the acceptance contract of the optimization.
+	for _, workers := range []int{1, 2, 4, 8} {
+		rep, err := warmTgt.RunParallel(warmGolden, plan, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reflect.DeepEqual(coldRep, rep) {
+			b.Fatalf("workers=%d: warm-start report differs from cold serial", workers)
+		}
+	}
+	once("E19", func() {
+		fmt.Printf("\n[E19] golden-snapshot warm start: %d experiments, cadence 16, %d-cycle trace\n",
+			len(plan), cycles)
+		fmt.Printf("[E19] cold serial %.2fs vs warm serial %.2fs — %.2fx (reports bit-identical at workers 1,2,4,8)\n",
+			coldSerial.Seconds(), warmSerial.Seconds(),
+			coldSerial.Seconds()/warmSerial.Seconds())
+	})
+	for _, mode := range []struct {
+		name string
+		tgt  *inject.Target
+		g    *inject.Golden
+	}{
+		{"cold", &coldTgt, c2.golden},
+		{"warm", &warmTgt, warmGolden},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mode.tgt.Run(mode.g, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
+			b.ReportMetric(1/perExp, "exp/s")
+		})
+	}
+	b.ReportMetric(coldSerial.Seconds()/warmSerial.Seconds(), "speedup")
+}
+
 // ---------- X1 (extension): the fault-robust microcontroller direction —
 // lockstep processing unit, same flow, per the paper's conclusion. ----------
 

@@ -3,6 +3,11 @@
 // profile-guided fault list, per-zone measured S/DDF, coverage items,
 // effect-table consistency and the cross-check against the worksheet.
 //
+// With -warmstart N the golden run captures a state snapshot every N
+// cycles and each experiment resumes from the snapshot at-or-before its
+// injection cycle instead of simulating from cycle 0; the report is
+// byte-identical to a cold-start run.
+//
 // Campaign execution is supervised: per-experiment watchdogs
 // (-exp-cycle-budget, -exp-timeout), retry + quarantine of failing
 // experiments (-retries), and deterministic checkpoint/resume
@@ -55,6 +60,7 @@ func run() int {
 	wide := flag.Int("wide", 12, "wide/global fault experiments")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
+	warmstart := flag.Int("warmstart", 0, "golden snapshot cadence in cycles for warm-started experiments (0 = cold start; results are identical)")
 	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
 	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (enables periodic checkpointing)")
@@ -76,6 +82,9 @@ func run() int {
 	}
 	if *workers < 0 {
 		usageErr("-workers must be >= 0 (0 = serial), got %d", *workers)
+	}
+	if *warmstart < 0 {
+		usageErr("-warmstart must be >= 0 (0 = cold start), got %d", *warmstart)
 	}
 	if *cycleBudget < 0 {
 		usageErr("-exp-cycle-budget must be >= 0, got %d", *cycleBudget)
@@ -161,6 +170,7 @@ func run() int {
 	}
 	target := d.InjectionTargetSeeded(a, d.SeedFaults())
 	target.Workers = *workers
+	target.SnapshotEvery = *warmstart
 	target.Supervision = inject.Supervision{
 		CycleBudget:     *cycleBudget,
 		WallBudget:      *expTimeout,

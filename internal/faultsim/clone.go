@@ -50,7 +50,10 @@ func (e *Engine) RunParallel(tr *workload.Trace, funcObs, diagObs []netlist.NetI
 		workers = nchunks
 	}
 	if nchunks > 0 {
-		portNets := e.resolvePorts(tr)
+		portNets, err := e.resolvePorts(tr)
+		if err != nil {
+			return Result{}, err
+		}
 		if workers <= 1 {
 			for base := 0; base < len(list); base += lanesPerPass {
 				hi := min(base+lanesPerPass, len(list))

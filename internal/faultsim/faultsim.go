@@ -136,17 +136,21 @@ func (e *Engine) runChunk(tr *workload.Trace, portNets [][]netlist.NetID, funcOb
 }
 
 // resolvePorts maps the trace's input ports onto netlist nets once per
-// campaign; the result is shared read-only across workers.
-func (e *Engine) resolvePorts(tr *workload.Trace) [][]netlist.NetID {
+// campaign; the result is shared read-only across workers. An unknown
+// port is a caller error reported as such — not a panic, and never a
+// silently skipped port (which would simulate a partially-driven
+// design). Run, RunParallel and ToggleCoverage all resolve through
+// here so the paths cannot disagree.
+func (e *Engine) resolvePorts(tr *workload.Trace) ([][]netlist.NetID, error) {
 	portNets := make([][]netlist.NetID, len(tr.Ports))
 	for i, name := range tr.Ports {
 		p, ok := e.n.FindInput(name)
 		if !ok {
-			panic(fmt.Sprintf("faultsim: trace port %q not an input of %q", name, e.n.Name))
+			return nil, fmt.Errorf("faultsim: trace port %q is not an input of %q", name, e.n.Name)
 		}
 		portNets[i] = p.Nets
 	}
-	return portNets
+	return portNets, nil
 }
 
 // runPass simulates golden + one chunk of faults through the full trace,

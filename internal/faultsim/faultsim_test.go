@@ -237,7 +237,10 @@ func TestToggleCoverageFull(t *testing.T) {
 		}
 	}
 	tr.AddIdle(1)
-	rep := e.ToggleCoverage(tr)
+	rep, err := e.ToggleCoverage(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Coverage() < 1.0 {
 		names := make([]string, 0, len(rep.Untoggled))
 		for _, id := range rep.Untoggled {
@@ -256,7 +259,10 @@ func TestToggleCoveragePartial(t *testing.T) {
 	tr := workload.NewTrace("a", "b")
 	tr.Add(map[string]uint64{"a": 0, "b": 0}) // nothing moves
 	tr.Add(map[string]uint64{"a": 0, "b": 0})
-	rep := e.ToggleCoverage(tr)
+	rep, err := e.ToggleCoverage(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Coverage() >= 0.5 {
 		t.Errorf("all-zero stimulus should toggle little, got %v", rep.Coverage())
 	}
@@ -290,5 +296,22 @@ func TestSequentialFaultPropagation(t *testing.T) {
 	}
 	if !res.PerFault[0].Func {
 		t.Error("stuck counter bit not detected after 8 cycles")
+	}
+}
+
+func TestUnknownTracePortIsError(t *testing.T) {
+	n := buildAdder(t)
+	e, _ := New(n)
+	tr := workload.NewTrace("a", "nosuchport")
+	tr.Add(map[string]uint64{"a": 1, "nosuchport": 1})
+	if _, err := e.ToggleCoverage(tr); err == nil {
+		t.Error("ToggleCoverage accepted an unknown trace port")
+	}
+	list := []faults.Fault{{Kind: faults.SA0, Net: 0}}
+	if _, err := e.Run(tr, nil, nil, list); err == nil {
+		t.Error("Run accepted an unknown trace port")
+	}
+	if _, err := e.RunParallel(tr, nil, nil, list, 4); err == nil {
+		t.Error("RunParallel accepted an unknown trace port")
 	}
 }

@@ -30,9 +30,15 @@ func (t ToggleReport) Passes(threshold float64) bool {
 }
 
 // ToggleCoverage runs the golden design against the trace and measures
-// per-net toggle coverage.
-func (e *Engine) ToggleCoverage(tr *workload.Trace) ToggleReport {
+// per-net toggle coverage. An unknown trace port is an error: silently
+// skipping it would measure coverage of a partially-driven design and
+// inflate the Section 5b workload-efficiency figure.
+func (e *Engine) ToggleCoverage(tr *workload.Trace) (ToggleReport, error) {
 	n := e.n
+	portNets, err := e.resolvePorts(tr)
+	if err != nil {
+		return ToggleReport{}, err
+	}
 	seen0 := make([]bool, len(n.Nets))
 	seen1 := make([]bool, len(n.Nets))
 	for i := range n.FFs {
@@ -41,11 +47,6 @@ func (e *Engine) ToggleCoverage(tr *workload.Trace) ToggleReport {
 		} else {
 			e.state[i] = 0
 		}
-	}
-	portNets := make([][]netlist.NetID, len(tr.Ports))
-	for i, name := range tr.Ports {
-		p, _ := n.FindInput(name)
-		portNets[i] = p.Nets
 	}
 	next := make([]uint64, len(n.FFs))
 	for cycle := 0; cycle < tr.Cycles(); cycle++ {
@@ -107,5 +108,5 @@ func (e *Engine) ToggleCoverage(tr *workload.Trace) ToggleReport {
 			rep.Untoggled = append(rep.Untoggled, nid)
 		}
 	}
-	return rep
+	return rep, nil
 }

@@ -48,6 +48,15 @@ type Target struct {
 	// report is byte-identical with it on or off (see the neutrality
 	// matrix test).
 	Telemetry *telemetry.Campaign
+	// SnapshotEvery is the golden-state snapshot cadence in cycles
+	// (0 = no snapshots, every faulty run starts cold at cycle 0).
+	// When set, RunGolden captures the simulator state every
+	// SnapshotEvery cycles and runOne warm-starts each experiment from
+	// the snapshot at-or-before its injection cycle. The faulty DUT is
+	// bit-identical to the golden one until the fault applies, so the
+	// report stays byte-identical to a cold start (see the warm-start
+	// neutrality matrix test).
+	SnapshotEvery int
 }
 
 // obsTrace is the recorded (value, xmask) stream of one observation
@@ -69,6 +78,26 @@ type Golden struct {
 	// Activity[z] lists cycles where zone z's outputs changed — the
 	// operational profile ("traced read/write activity").
 	Activity [][]int
+	// snaps are golden-state snapshots in ascending cycle order
+	// (captured at Target.SnapshotEvery cadence); shared read-only
+	// across worker goroutines, restored via Simulator.Restore.
+	snaps []*sim.Snapshot
+}
+
+// snapshotAtOrBefore returns the latest golden snapshot whose resume
+// cycle is at or before the given cycle, or nil if none qualifies (the
+// run then starts cold). Equality is allowed: a snapshot at cycle c
+// restores the state *entering* iteration c, before the fault of an
+// injection at cycle c is applied.
+func (g *Golden) snapshotAtOrBefore(cycle int) *sim.Snapshot {
+	var best *sim.Snapshot
+	for _, sn := range g.snaps {
+		if sn.Cycle() > int64(cycle) {
+			break
+		}
+		best = sn
+	}
+	return best
 }
 
 // RunGolden performs the fault-free reference simulation, recording
@@ -100,6 +129,12 @@ func (t *Target) RunGolden(tr *workload.Trace) (*Golden, error) {
 		}
 		for zi := range a.Zones {
 			g.zoneVals[zi][c] = foldNets(s, a.EffectNets(zi))
+		}
+		// Captured after Step: the snapshot's cycle is c+1, exactly the
+		// state entering iteration c+1 of a faulty run. A snapshot at
+		// the final cycle could never be used, so it is skipped.
+		if t.SnapshotEvery > 0 && (c+1)%t.SnapshotEvery == 0 && c+1 < tr.Cycles() {
+			g.snaps = append(g.snaps, s.Snapshot())
 		}
 	}
 	for zi := range a.Zones {

@@ -1,6 +1,8 @@
 package inject
 
 import (
+	"fmt"
+
 	"repro/internal/faults"
 	"repro/internal/zones"
 )
@@ -32,10 +34,14 @@ func (o Outcome) String() string {
 		return "detected-safe"
 	case DangerousDetected:
 		return "dangerous-detected"
+	case DangerousUndetected:
+		return "dangerous-undetected"
 	case Aborted:
 		return "aborted"
 	default:
-		return "dangerous-undetected"
+		// A corrupted checkpoint or future enum drift must not
+		// masquerade as a valid conservative verdict.
+		return fmt.Sprintf("unknown(%d)", uint8(o))
 	}
 }
 
@@ -156,23 +162,45 @@ func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
 	if err != nil {
 		return ExpResult{}, err
 	}
-	if b := t.Supervision.CycleBudget; b > 0 {
-		s.SetCycleBudget(int64(b))
+	tr := g.Trace
+	// Warm start: until the fault applies (after the edge of iteration
+	// inj.Cycle) the faulty DUT is bit-identical to the golden one, so
+	// resume from the latest golden snapshot at-or-before the injection
+	// cycle instead of re-simulating the prefix.
+	start := 0
+	if snap := g.snapshotAtOrBefore(inj.Cycle); snap != nil {
+		s.Restore(snap)
+		start = int(snap.Cycle())
 	}
+	if b := t.Supervision.CycleBudget; b > 0 {
+		// The budget counts trace cycles: charge the skipped prefix so
+		// the watchdog aborts at the same absolute trace cycle as a
+		// cold run (the abort point is translated, not moved).
+		s.SetCycleBudget(int64(b))
+		s.ChargeBudget(int64(start))
+	}
+	// Early-exit is behavior-preserving only when no watchdog can fire
+	// mid-run: a cold run returns Aborted when the budget expires even
+	// after the outcome is pinned, so with a live watchdog we must keep
+	// simulating to reproduce that verdict (see DESIGN.md §11).
+	cb := t.Supervision.CycleBudget
+	earlyExitSafe := (cb <= 0 || cb >= tr.Cycles()) &&
+		(t.Supervision.WallBudget <= 0 || t.Supervision.Clock == nil)
 	wallCheck := t.Supervision.wallChecker()
 	res := ExpResult{Injection: inj, FirstDevCycle: -1}
 	deviated := map[int]bool{}
 	funcDev, diagDev := false, false
-	tr := g.Trace
-	for c := 0; c < tr.Cycles(); c++ {
+	var simulated int64
+	for c := start; c < tr.Cycles(); c++ {
 		if s.BudgetExceeded() || wallCheck(c) {
 			res.Outcome = Aborted
-			t.Telemetry.AddSimCycles(int64(c))
+			t.Telemetry.AddSimCycles(simulated)
 			return res, nil
 		}
 		tr.ApplyTo(s, c)
 		s.Eval()
 		s.Step()
+		simulated++
 		// Faults are applied after the clock edge: an SEU corrupts the
 		// state that was just latched; a stuck-at becomes visible from
 		// this cycle's settled values onward.
@@ -206,6 +234,16 @@ func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
 					}
 				}
 			}
+			// Early exit: once every monitor is pinned — functional and
+			// diagnostic deviation seen, SENS established (or implied by
+			// a flip fault), and every observation point already in
+			// Deviated — the remaining cycles cannot change any field of
+			// the result row.
+			if earlyExitSafe && funcDev && diagDev &&
+				(res.Sens || inj.Fault.Kind == faults.Flip) &&
+				len(res.Deviated) == len(a.Obs) {
+				break
+			}
 		}
 	}
 	switch {
@@ -222,6 +260,6 @@ func (t *Target) runOne(g *Golden, inj Injection) (ExpResult, error) {
 	if inj.Fault.Kind == faults.Flip {
 		res.Sens = true
 	}
-	t.Telemetry.AddSimCycles(int64(tr.Cycles()))
+	t.Telemetry.AddSimCycles(simulated)
 	return res, nil
 }

@@ -246,6 +246,43 @@ func (a *Array) RestoreWords(w []uint64) {
 	copy(a.words, w)
 }
 
+// arrayState is the sim.Peripheral snapshot payload of an Array: the
+// storage words, the sampled port registers and the access statistics.
+// Armed faults are configuration, not state, and are not captured (a
+// restored instance keeps its own armed fault models, matching the
+// simulator's treatment of net/pin forces).
+type arrayState struct {
+	words         []uint64
+	sAddr, sWData uint64
+	sWE, sRE      bool
+	reads, writes int64
+}
+
+// SnapshotState implements sim.Peripheral: it returns a self-contained
+// copy of the array state, safe to share read-only across goroutines.
+func (a *Array) SnapshotState() any {
+	st := &arrayState{
+		words: make([]uint64, len(a.words)),
+		sAddr: a.sAddr, sWData: a.sWData, sWE: a.sWE, sRE: a.sRE,
+		reads: a.reads, writes: a.writes,
+	}
+	copy(st.words, a.words)
+	return st
+}
+
+// RestoreState implements sim.Peripheral: it copies a captured state
+// back into the array (never aliasing the snapshot, which other
+// restores may be reading concurrently).
+func (a *Array) RestoreState(state any) {
+	st, ok := state.(*arrayState)
+	if !ok || len(st.words) != len(a.words) {
+		panic("memsys: array restore from a snapshot of a different design")
+	}
+	copy(a.words, st.words)
+	a.sAddr, a.sWData, a.sWE, a.sRE = st.sAddr, st.sWData, st.sWE, st.sRE
+	a.reads, a.writes = st.reads, st.writes
+}
+
 func busValue(get func(netlist.NetID) sim.Value, nets []netlist.NetID) uint64 {
 	var v uint64
 	for i, id := range nets {

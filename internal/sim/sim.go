@@ -19,9 +19,19 @@ import (
 // attached to external nets of the design. On each clock edge Sample is
 // called with the settled pre-edge net values, then Commit is called to
 // drive the peripheral's output nets for the next cycle.
+//
+// SnapshotState/RestoreState make the peripheral's sequential state
+// part of the simulator's Snapshot/Restore cycle. SnapshotState must
+// return a self-contained copy (snapshots outlive the peripheral and
+// are shared read-only across goroutines), and RestoreState must copy
+// out of its argument, never alias it. Armed fault models are
+// configuration, not state: like simulator forces, they survive a
+// Restore untouched.
 type Peripheral interface {
 	Sample(get func(netlist.NetID) Value)
 	Commit(set func(netlist.NetID, Value))
+	SnapshotState() any
+	RestoreState(state any)
 }
 
 // Simulator executes a netlist cycle by cycle.
@@ -118,6 +128,17 @@ func (s *Simulator) SetCycleBudget(n int64) {
 // BudgetExceeded reports whether the armed cycle budget is spent.
 func (s *Simulator) BudgetExceeded() bool {
 	return s.budget > 0 && s.budgetUsed >= s.budget
+}
+
+// ChargeBudget spends n units of an armed cycle budget without
+// simulating. A campaign that warm-starts from a golden snapshot
+// charges the skipped prefix here, so the budget keeps counting trace
+// cycles from cycle 0 and the watchdog aborts at exactly the same
+// trace cycle as a cold-start run — translated, not silently moved.
+func (s *Simulator) ChargeBudget(n int64) {
+	if n > 0 {
+		s.budgetUsed += n
+	}
 }
 
 // AttachPeripheral registers a behavioral component. Peripherals are
@@ -522,18 +543,29 @@ func (s *Simulator) Run(cycles int) {
 	}
 }
 
-// Snapshot captures the full sequential state (FFs + peripheral nets) so
-// a campaign can restore the golden state between injections. Peripheral
-// internal state is NOT captured; peripherals expose their own snapshot
-// mechanisms.
+// Snapshot captures the full sequential state of a simulation instant —
+// flip-flop state, settled external/input net values, every attached
+// peripheral's internal state and the cycle counter — so a campaign can
+// warm-start faulty runs from the golden state instead of re-simulating
+// from cycle 0. Snapshots are immutable once taken and safe to share
+// read-only across goroutines; Restore always copies out of them.
+// Fault forces and the cycle budget are deliberately not captured: a
+// force is configuration that survives Reset, and the budget belongs to
+// the experiment being run, not the state being restored.
 type Snapshot struct {
-	state []Value
-	ext   []Value
-	cycle int64
+	state  []Value
+	ext    []Value
+	periph []any
+	cycle  int64
 }
 
-// Snapshot captures flip-flop state, external/input net values and the
-// cycle counter.
+// Cycle returns the clock-edge count at which the snapshot was taken —
+// the trace cycle a restored simulation resumes from.
+func (sn *Snapshot) Cycle() int64 { return sn.cycle }
+
+// Snapshot captures flip-flop state, external/input net values,
+// peripheral state (via Peripheral.SnapshotState) and the cycle
+// counter.
 func (s *Simulator) Snapshot() *Snapshot {
 	sn := &Snapshot{
 		state: make([]Value, len(s.state)),
@@ -542,13 +574,29 @@ func (s *Simulator) Snapshot() *Snapshot {
 	}
 	copy(sn.state, s.state)
 	copy(sn.ext, s.ext)
+	if len(s.peripherals) > 0 {
+		sn.periph = make([]any, len(s.peripherals))
+		for i, p := range s.peripherals {
+			sn.periph[i] = p.SnapshotState()
+		}
+	}
 	return sn
 }
 
-// Restore reinstates a snapshot and re-settles the network.
+// Restore reinstates a snapshot — including peripheral state, matched
+// by attach order — and re-settles the network. The receiving simulator
+// must have the same shape (netlist and peripheral set) as the one the
+// snapshot was taken from.
 func (s *Simulator) Restore(sn *Snapshot) {
+	if len(sn.periph) != len(s.peripherals) {
+		panic(fmt.Sprintf("sim: restore of a snapshot with %d peripheral state(s) onto a simulator with %d peripheral(s)",
+			len(sn.periph), len(s.peripherals)))
+	}
 	copy(s.state, sn.state)
 	copy(s.ext, sn.ext)
+	for i, p := range s.peripherals {
+		p.RestoreState(sn.periph[i])
+	}
 	s.cycle = sn.cycle
 	s.Eval()
 }

@@ -349,6 +349,23 @@ func (r *ramPeriph) Commit(set func(netlist.NetID, Value)) {
 	}
 }
 
+// ramState is ramPeriph's Peripheral snapshot payload.
+type ramState struct {
+	mem   [4]uint8
+	sAddr uint8
+	sData uint8
+	sWE   bool
+}
+
+func (r *ramPeriph) SnapshotState() any {
+	return &ramState{mem: r.mem, sAddr: r.sAddr, sData: r.sData, sWE: r.sWE}
+}
+
+func (r *ramPeriph) RestoreState(state any) {
+	st := state.(*ramState)
+	r.mem, r.sAddr, r.sData, r.sWE = st.mem, st.sAddr, st.sData, st.sWE
+}
+
 func TestPeripheralRAM(t *testing.T) {
 	n := netlist.New("ram")
 	addr := n.AddInput("addr", 2)
@@ -523,5 +540,108 @@ func TestCycleBudget(t *testing.T) {
 	s.Run(7)
 	if s.Cycle() != 7 {
 		t.Fatalf("unbudgeted Run stepped to cycle %d, want 7", s.Cycle())
+	}
+}
+
+// TestSnapshotRestorePeripheral: Snapshot must capture peripheral
+// state (via Peripheral.SnapshotState) and Restore must reinstate it —
+// the warm-start contract of the injection campaign. The snapshot must
+// also be immune to later mutation of the live peripheral.
+func TestSnapshotRestorePeripheral(t *testing.T) {
+	n := netlist.New("ram")
+	addr := n.AddInput("addr", 2)
+	wdata := n.AddInput("wdata", 4)
+	we := n.AddInput("we", 1)
+	rdata := n.AddExternal("rdata", 4)
+	n.AddOutput("rdata", rdata)
+	s, _ := New(n)
+	s.AttachPeripheral(&ramPeriph{addr: addr, wdata: wdata, we: we, rdata: rdata})
+
+	write := func(a, d uint64) {
+		s.SetInput("addr", a)
+		s.SetInput("wdata", d)
+		s.SetInput("we", 1)
+		s.Eval()
+		s.Step()
+	}
+	read := func(a uint64) uint64 {
+		s.SetInput("addr", a)
+		s.SetInput("we", 0)
+		s.Eval()
+		s.Step()
+		v, _ := s.ReadOutput("rdata")
+		return v
+	}
+	write(2, 9)
+	write(1, 5)
+	snap := s.Snapshot()
+	if snap.Cycle() != s.Cycle() {
+		t.Fatalf("snapshot cycle %d, want %d", snap.Cycle(), s.Cycle())
+	}
+	write(2, 3) // diverge: overwrite word 2 after the snapshot
+	write(1, 0)
+	s.Restore(snap)
+	if c := s.Cycle(); c != snap.Cycle() {
+		t.Fatalf("restored cycle %d, want %d", c, snap.Cycle())
+	}
+	if v := read(2); v != 9 {
+		t.Errorf("word 2 after restore = %d, want 9", v)
+	}
+	if v := read(1); v != 5 {
+		t.Errorf("word 1 after restore = %d, want 5", v)
+	}
+}
+
+// TestSnapshotRestorePeripheralMismatch: restoring a snapshot that
+// carries a different peripheral count is a programmer error and must
+// fail loudly, not silently corrupt state.
+func TestSnapshotRestorePeripheralMismatch(t *testing.T) {
+	n, _ := buildToy(t)
+	s, _ := New(n)
+	snap := s.Snapshot() // no peripherals
+
+	n2 := netlist.New("ram")
+	addr := n2.AddInput("addr", 2)
+	wdata := n2.AddInput("wdata", 4)
+	we := n2.AddInput("we", 1)
+	rdata := n2.AddExternal("rdata", 4)
+	n2.AddOutput("rdata", rdata)
+	s2, _ := New(n2)
+	s2.AttachPeripheral(&ramPeriph{addr: addr, wdata: wdata, we: we, rdata: rdata})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("restore across peripheral shapes did not panic")
+		}
+	}()
+	s2.Restore(snap)
+}
+
+// TestChargeBudget: charging a warm-start prefix against the budget
+// must reproduce the cold abort point exactly — the budget counts trace
+// cycles, not steps actually executed.
+func TestChargeBudget(t *testing.T) {
+	n, _ := buildToy(t)
+
+	// Cold: budget 5 from cycle 0 stops after 5 steps.
+	cold, _ := New(n)
+	cold.SetCycleBudget(5)
+	cold.Run(100)
+	if cold.Cycle() != 5 {
+		t.Fatalf("cold run stopped at cycle %d, want 5", cold.Cycle())
+	}
+
+	// Warm: a run "resumed" at cycle 3 with the same budget must stop
+	// at the same trace cycle (5), i.e. after only 2 more steps.
+	warm, _ := New(n)
+	warm.Run(3)
+	warm.SetCycleBudget(5)
+	warm.ChargeBudget(3)
+	warm.Run(100)
+	if warm.Cycle() != 5 {
+		t.Fatalf("warm run stopped at cycle %d, want 5", warm.Cycle())
+	}
+	warm.ChargeBudget(-7) // negative charges are ignored
+	if !warm.BudgetExceeded() {
+		t.Fatal("negative ChargeBudget healed the budget")
 	}
 }
