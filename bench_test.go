@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure reproduced from the
-// paper's evaluation (experiments E1–E14 of DESIGN.md). Each benchmark
+// paper's evaluation (experiments E1–E20 of DESIGN.md). Each benchmark
 // reports its headline quantities as custom metrics and prints the
 // paper-vs-measured row once, so
 //
@@ -859,6 +859,96 @@ func BenchmarkE19_WarmStart(b *testing.B) {
 		})
 	}
 	b.ReportMetric(coldSerial.Seconds()/warmSerial.Seconds(), "speedup")
+}
+
+// ---------- E20: compiled word-parallel simulation kernel — the campaign
+// compiles the netlist to flat bytecode (internal/simc) and packs up to
+// 64 experiments into the bit-lanes of one machine word, all restored
+// from the same golden snapshot and stepped in lockstep. The acceptance
+// contract: the merged report stays bit-identical to the cold serial
+// reference at every lanes × workers combination, and single-core
+// throughput gains ≥10× over the E19 warm-start serial baseline. ----------
+
+func BenchmarkE20_CompiledLanes(b *testing.B) {
+	c2 := campaign(b, true)
+	plan := inject.BuildPlan(c2.an, c2.golden, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 1})
+	plan = append(plan, inject.WidePlan(c2.an, c2.golden, 12, 2)...)
+	// Same deterministic uniform injection-cycle spread as E19, so the
+	// speedup composes with (and is measured against) the warm start.
+	cycles := c2.golden.Trace.Cycles()
+	for i := range plan {
+		plan[i].Cycle = i * (cycles - 1) / max(len(plan)-1, 1)
+	}
+
+	coldTgt := *c2.target // never mutate the shared cached fixture
+	warmTgt := *c2.target
+	warmTgt.SnapshotEvery = 16
+	warmGolden, err := warmTgt.RunGolden(c2.golden.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	laneTgt := warmTgt
+	laneTgt.Lanes = 64
+
+	coldRep, err := coldTgt.Run(c2.golden, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := warmTgt.Run(warmGolden, plan); err != nil {
+		b.Fatal(err)
+	}
+	warmSerial := time.Since(start) // the E19 baseline this must beat
+	start = time.Now()
+	laneRep, err := laneTgt.Run(warmGolden, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	laneSerial := time.Since(start)
+	if !reflect.DeepEqual(coldRep, laneRep) {
+		b.Fatal("64-lane report differs from cold serial report")
+	}
+	// Byte-identity across the full lanes × workers acceptance matrix
+	// against the cold serial reference.
+	for _, lanes := range []int{1, 8, 64} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			tgt := laneTgt
+			tgt.Lanes = lanes
+			tgt.Workers = workers
+			rep, err := tgt.Run(warmGolden, plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !reflect.DeepEqual(coldRep, rep) {
+				b.Fatalf("lanes=%d workers=%d: report differs from cold serial", lanes, workers)
+			}
+		}
+	}
+	speedup := warmSerial.Seconds() / laneSerial.Seconds()
+	once("E20", func() {
+		fmt.Printf("\n[E20] compiled 64-lane kernel: %d experiments, warm serial %.2fs vs 64-lane %.3fs\n",
+			len(plan), warmSerial.Seconds(), laneSerial.Seconds())
+		fmt.Printf("[E20] — %.1fx single-core over the E19 warm-start baseline (target ≥10x;\n", speedup)
+		fmt.Printf("[E20] reports bit-identical at lanes 1,8,64 × workers 1,2,4,8)\n")
+	})
+	for _, mode := range []struct {
+		name string
+		tgt  *inject.Target
+	}{
+		{"warm-serial", &warmTgt},
+		{"lanes=64", &laneTgt},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mode.tgt.Run(warmGolden, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
+			b.ReportMetric(1/perExp, "exp/s")
+		})
+	}
+	b.ReportMetric(speedup, "speedup")
 }
 
 // ---------- X1 (extension): the fault-robust microcontroller direction —

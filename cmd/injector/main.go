@@ -8,6 +8,11 @@
 // injection cycle instead of simulating from cycle 0; the report is
 // byte-identical to a cold-start run.
 //
+// With -lanes L (2..64) each worker runs up to L experiments
+// bit-parallel in one machine word on the compiled simulation kernel
+// (internal/simc); the report is byte-identical to the serial path for
+// any workers x lanes combination.
+//
 // Campaign execution is supervised: per-experiment watchdogs
 // (-exp-cycle-budget, -exp-timeout), retry + quarantine of failing
 // experiments (-retries), and deterministic checkpoint/resume
@@ -61,6 +66,7 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
 	warmstart := flag.Int("warmstart", 0, "golden snapshot cadence in cycles for warm-started experiments (0 = cold start; results are identical)")
+	lanes := flag.Int("lanes", 1, "bit-parallel simulation lanes per worker, 1..64 (compiled kernel; results are identical)")
 	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
 	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (enables periodic checkpointing)")
@@ -85,6 +91,9 @@ func run() int {
 	}
 	if *warmstart < 0 {
 		usageErr("-warmstart must be >= 0 (0 = cold start), got %d", *warmstart)
+	}
+	if *lanes < 1 || *lanes > 64 {
+		usageErr("-lanes must be in 1..64, got %d", *lanes)
 	}
 	if *cycleBudget < 0 {
 		usageErr("-exp-cycle-budget must be >= 0, got %d", *cycleBudget)
@@ -171,6 +180,7 @@ func run() int {
 	target := d.InjectionTargetSeeded(a, d.SeedFaults())
 	target.Workers = *workers
 	target.SnapshotEvery = *warmstart
+	target.Lanes = *lanes
 	target.Supervision = inject.Supervision{
 		CycleBudget:     *cycleBudget,
 		WallBudget:      *expTimeout,

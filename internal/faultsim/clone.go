@@ -11,20 +11,16 @@ import (
 	"repro/internal/workload"
 )
 
-// Clone returns an engine over the same netlist with fresh mutable
-// state (lane values, FF state, fault masks). The netlist and its
-// levelized order are shared read-only, so clones are cheap and may
-// simulate concurrently with the original and with each other. Clone
-// must not be called while a pass is in flight on the receiver.
+// Clone returns an engine over the same compiled program. All mutable
+// per-pass state (lane planes, FF state, fault masks) lives in the
+// per-chunk machine, so engines are already safe to share; Clone is
+// kept for callers written against the earlier mutable engine and
+// still guarantees the receiver and the clone may simulate
+// concurrently.
 func (e *Engine) Clone() *Engine {
 	return &Engine{
 		n:         e.n,
-		order:     e.order,
-		values:    make([]uint64, len(e.values)),
-		state:     make([]uint64, len(e.state)),
-		netOr:     make(map[netlist.NetID]uint64),
-		netClr:    make(map[netlist.NetID]uint64),
-		pin:       make(map[netlist.GateID][]pinMask),
+		prog:      e.prog, // immutable, shared read-only
 		Telemetry: e.Telemetry, // shared hub; counters are atomic
 	}
 }

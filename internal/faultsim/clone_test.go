@@ -87,18 +87,20 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	}
 }
 
-// TestCloneIndependentMasks: installing masks on a clone must not leak
-// into the original (the mutable state is what made the engine
-// unshareable before Clone existed).
-func TestCloneIndependentMasks(t *testing.T) {
-	eng, _, all, _, _ := cloneFixture(t)
+// TestCloneSharesProgram: a clone must reuse the original's compiled
+// program (compilation is the only expensive part of an engine now that
+// per-pass state lives in per-chunk machines) and share the telemetry
+// hub, while remaining a distinct engine value.
+func TestCloneSharesProgram(t *testing.T) {
+	eng, _, _, _, _ := cloneFixture(t)
 	c := eng.Clone()
-	c.installMasks(all[:lanesPerPass])
-	if len(eng.netOr) != 0 || len(eng.netClr) != 0 || len(eng.pin) != 0 {
-		t.Fatal("clone masks leaked into the original engine")
+	if c == eng {
+		t.Fatal("Clone returned the receiver")
 	}
-	c.clearMasks()
-	if len(c.netOr) != 0 || len(c.netClr) != 0 || len(c.pin) != 0 {
-		t.Fatal("clearMasks left residue on the clone")
+	if c.prog != eng.prog {
+		t.Fatal("clone compiled its own program instead of sharing")
+	}
+	if c.n != eng.n {
+		t.Fatal("clone does not share the netlist")
 	}
 }

@@ -8,6 +8,13 @@
 // faulty circuit, so one pass simulates 63 faults against the whole
 // workload. Designs must be pure gate/FF logic (no behavioral
 // peripherals) and workloads must be fully binary.
+//
+// The evaluation kernel is the compiled bytecode program of
+// internal/simc: the netlist is compiled once per engine and every pass
+// runs a binary machine (simc.BinMachine) over the shared op stream,
+// with the chunk's stuck-at masks spliced in as FORCE ops. The same
+// program drives the three-valued campaign kernel, so the two
+// simulators cannot diverge structurally.
 package faultsim
 
 import (
@@ -15,35 +22,25 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/netlist"
+	"repro/internal/simc"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 const lanesPerPass = 63 // lane 0 is golden
 
-// Engine simulates a netlist in 64 parallel lanes.
+// Engine simulates a netlist in 64 parallel lanes. The engine itself is
+// immutable after New — per-pass lane state lives in a machine built
+// per chunk — but Clone is kept so callers written against the earlier
+// mutable engine keep working.
 type Engine struct {
-	n     *netlist.Netlist
-	order []netlist.GateID
-
-	values []uint64 // per net
-	state  []uint64 // per FF
-
-	// Per-pass fault masks.
-	netOr  map[netlist.NetID]uint64
-	netClr map[netlist.NetID]uint64
-	pin    map[netlist.GateID][]pinMask
+	n    *netlist.Netlist
+	prog *simc.Program
 
 	// Telemetry counts faults/passes/cycles out-of-band (nil = off).
 	// Clones share the hub, so parallel shards aggregate into one set
 	// of counters.
 	Telemetry *telemetry.Campaign
-}
-
-type pinMask struct {
-	pin int
-	or  uint64
-	clr uint64
 }
 
 // New builds an engine. The design must validate and must not contain
@@ -55,19 +52,11 @@ func New(n *netlist.Netlist) (*Engine, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	order, err := n.Levelize()
+	prog, err := simc.Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
-		n:      n,
-		order:  order,
-		values: make([]uint64, len(n.Nets)),
-		state:  make([]uint64, len(n.FFs)),
-		netOr:  make(map[netlist.NetID]uint64),
-		netClr: make(map[netlist.NetID]uint64),
-		pin:    make(map[netlist.GateID][]pinMask),
-	}, nil
+	return &Engine{n: n, prog: prog}, nil
 }
 
 // Detection records where a fault became visible.
@@ -153,30 +142,37 @@ func (e *Engine) resolvePorts(tr *workload.Trace) ([][]netlist.NetID, error) {
 	return portNets, nil
 }
 
-// runPass simulates golden + one chunk of faults through the full trace,
-// returning lane masks of func/diag detections.
+// runPass simulates golden + one chunk of faults through the full trace
+// on a fresh binary machine, returning lane masks of func/diag
+// detections. Each fault occupies its own lane, so the per-lane
+// stuck-at masks of one force slot never overlap.
 func (e *Engine) runPass(tr *workload.Trace, portNets [][]netlist.NetID, funcObs, diagObs []netlist.NetID, chunk []faults.Fault) (funcMask, diagMask uint64) {
-	e.installMasks(chunk)
-	defer e.clearMasks()
-
-	n := e.n
-	// Reset state.
-	for i := range n.FFs {
-		if n.FFs[i].ResetVal {
-			e.state[i] = ^uint64(0)
+	m := simc.NewBinMachine(e.prog)
+	for i, f := range chunk {
+		lane := uint64(1) << uint(i+1)
+		var or, clr uint64
+		if f.Kind == faults.SA1 {
+			or = lane
 		} else {
-			e.state[i] = 0
+			clr = lane
+		}
+		switch f.Site {
+		case faults.SiteNet:
+			m.StuckAt(m.AddNetForce(f.Net), or, clr)
+		case faults.SitePin:
+			ref, err := m.AddPinForce(f.Gate, f.Pin)
+			if err != nil {
+				// A pin index the gate does not have cannot affect the
+				// circuit; the lane simply stays golden (undetected).
+				continue
+			}
+			m.StuckAt(ref, or, clr)
+		default:
+			panic("faultsim: unsupported fault site")
 		}
 	}
-	next := make([]uint64, len(n.FFs))
+	m.ResetState()
 	for cycle := 0; cycle < tr.Cycles(); cycle++ {
-		// Drive sources.
-		if n.Const0 != netlist.InvalidNet {
-			e.values[n.Const0] = e.mask(n.Const0, 0)
-		}
-		if n.Const1 != netlist.InvalidNet {
-			e.values[n.Const1] = e.mask(n.Const1, ^uint64(0))
-		}
 		vec := tr.Vecs[cycle]
 		for pi, nets := range portNets {
 			v := vec[pi]
@@ -185,144 +181,21 @@ func (e *Engine) runPass(tr *workload.Trace, portNets [][]netlist.NetID, funcObs
 				if v>>uint(bit)&1 == 1 {
 					w = ^uint64(0)
 				}
-				e.values[id] = e.mask(id, w)
+				m.DriveInput(id, w)
 			}
 		}
-		for i := range n.FFs {
-			q := n.FFs[i].Q
-			e.values[q] = e.mask(q, e.state[i])
-		}
-		// Evaluate.
-		for _, gid := range e.order {
-			g := &n.Gates[gid]
-			e.values[g.Output] = e.mask(g.Output, e.evalGate(g))
-		}
-		// Observe.
+		m.Eval()
 		for _, id := range funcObs {
-			w := e.values[id]
+			w := m.Val(id)
 			funcMask |= w ^ broadcastLane0(w)
 		}
 		for _, id := range diagObs {
-			w := e.values[id]
+			w := m.Val(id)
 			diagMask |= w ^ broadcastLane0(w)
 		}
-		// Clock.
-		for i := range n.FFs {
-			ff := &n.FFs[i]
-			d := e.values[ff.D]
-			if ff.Enable != netlist.InvalidNet {
-				en := e.values[ff.Enable]
-				next[i] = en&d | ^en&e.state[i]
-			} else {
-				next[i] = d
-			}
-		}
-		copy(e.state, next)
+		m.Step()
 	}
 	return funcMask &^ 1, diagMask &^ 1
-}
-
-func (e *Engine) installMasks(chunk []faults.Fault) {
-	for i, f := range chunk {
-		lane := uint64(1) << uint(i+1)
-		switch f.Site {
-		case faults.SiteNet:
-			if f.Kind == faults.SA1 {
-				e.netOr[f.Net] |= lane
-			} else {
-				e.netClr[f.Net] |= lane
-			}
-		case faults.SitePin:
-			pm := pinMask{pin: f.Pin}
-			if f.Kind == faults.SA1 {
-				pm.or = lane
-			} else {
-				pm.clr = lane
-			}
-			e.pin[f.Gate] = append(e.pin[f.Gate], pm)
-		default:
-			panic("faultsim: unsupported fault site")
-		}
-	}
-}
-
-func (e *Engine) clearMasks() {
-	for k := range e.netOr {
-		delete(e.netOr, k)
-	}
-	for k := range e.netClr {
-		delete(e.netClr, k)
-	}
-	for k := range e.pin {
-		delete(e.pin, k)
-	}
-}
-
-// mask applies net stuck-at masks to a driven word.
-func (e *Engine) mask(id netlist.NetID, w uint64) uint64 {
-	if len(e.netClr) > 0 {
-		if clr, ok := e.netClr[id]; ok {
-			w &^= clr
-		}
-	}
-	if len(e.netOr) > 0 {
-		if or, ok := e.netOr[id]; ok {
-			w |= or
-		}
-	}
-	return w
-}
-
-func (e *Engine) in(g *netlist.Gate, pin int) uint64 {
-	w := e.values[g.Inputs[pin]]
-	if pms, ok := e.pin[g.ID]; ok {
-		for _, pm := range pms {
-			if pm.pin == pin {
-				w = w&^pm.clr | pm.or
-			}
-		}
-	}
-	return w
-}
-
-func (e *Engine) evalGate(g *netlist.Gate) uint64 {
-	switch g.Type {
-	case netlist.BUF:
-		return e.in(g, 0)
-	case netlist.NOT:
-		return ^e.in(g, 0)
-	case netlist.AND, netlist.NAND:
-		acc := ^uint64(0)
-		for i := range g.Inputs {
-			acc &= e.in(g, i)
-		}
-		if g.Type == netlist.NAND {
-			return ^acc
-		}
-		return acc
-	case netlist.OR, netlist.NOR:
-		acc := uint64(0)
-		for i := range g.Inputs {
-			acc |= e.in(g, i)
-		}
-		if g.Type == netlist.NOR {
-			return ^acc
-		}
-		return acc
-	case netlist.XOR, netlist.XNOR:
-		acc := uint64(0)
-		for i := range g.Inputs {
-			acc ^= e.in(g, i)
-		}
-		if g.Type == netlist.XNOR {
-			return ^acc
-		}
-		return acc
-	case netlist.MUX2:
-		sel := e.in(g, 0)
-		return sel&e.in(g, 2) | ^sel&e.in(g, 1)
-	}
-	panic(fmt.Sprintf("faultsim: unknown gate type %v", g.Type))
 }
 
 func broadcastLane0(w uint64) uint64 {

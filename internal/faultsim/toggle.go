@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"repro/internal/netlist"
+	"repro/internal/simc"
 	"repro/internal/workload"
 )
 
@@ -41,56 +42,30 @@ func (e *Engine) ToggleCoverage(tr *workload.Trace) (ToggleReport, error) {
 	}
 	seen0 := make([]bool, len(n.Nets))
 	seen1 := make([]bool, len(n.Nets))
-	for i := range n.FFs {
-		if n.FFs[i].ResetVal {
-			e.state[i] = ^uint64(0)
-		} else {
-			e.state[i] = 0
-		}
-	}
-	next := make([]uint64, len(n.FFs))
+	// A faultless binary machine: lane 0 is read for the toggle tally
+	// (all 64 lanes carry the same golden circuit).
+	m := simc.NewBinMachine(e.prog)
+	m.ResetState()
 	for cycle := 0; cycle < tr.Cycles(); cycle++ {
-		if n.Const0 != netlist.InvalidNet {
-			e.values[n.Const0] = 0
-		}
-		if n.Const1 != netlist.InvalidNet {
-			e.values[n.Const1] = ^uint64(0)
-		}
 		vec := tr.Vecs[cycle]
 		for pi, nets := range portNets {
 			for bit, id := range nets {
 				if vec[pi]>>uint(bit)&1 == 1 {
-					e.values[id] = ^uint64(0)
+					m.DriveInput(id, ^uint64(0))
 				} else {
-					e.values[id] = 0
+					m.DriveInput(id, 0)
 				}
 			}
 		}
-		for i := range n.FFs {
-			e.values[n.FFs[i].Q] = e.state[i]
-		}
-		for _, gid := range e.order {
-			g := &n.Gates[gid]
-			e.values[g.Output] = e.evalGate(g)
-		}
+		m.Eval()
 		for id := range n.Nets {
-			if e.values[id]&1 == 1 {
+			if m.Val(netlist.NetID(id))&1 == 1 {
 				seen1[id] = true
 			} else {
 				seen0[id] = true
 			}
 		}
-		for i := range n.FFs {
-			ff := &n.FFs[i]
-			d := e.values[ff.D]
-			if ff.Enable != netlist.InvalidNet {
-				en := e.values[ff.Enable]
-				next[i] = en&d | ^en&e.state[i]
-			} else {
-				next[i] = d
-			}
-		}
-		copy(e.state, next)
+		m.Step()
 	}
 	rep := ToggleReport{}
 	for id := range n.Nets {

@@ -48,6 +48,17 @@ type Target struct {
 	// report is byte-identical with it on or off (see the neutrality
 	// matrix test).
 	Telemetry *telemetry.Campaign
+	// Lanes > 1 enables the compiled word-parallel kernel
+	// (internal/simc): up to Lanes experiments (max 64) restore from the
+	// same golden snapshot and run in lockstep, one per bit-lane of a
+	// machine word, with per-lane fault masks and per-lane monitor
+	// retirement. The merged report stays bit-identical to the serial
+	// path for any (Workers x Lanes) combination — lanes are a pure
+	// throughput knob, like Workers (see the lanes neutrality matrix
+	// test). Experiments the kernel cannot batch (and every experiment
+	// when the nondeterministic wall-clock watchdog is armed) fall back
+	// to the serial per-experiment path automatically.
+	Lanes int
 	// SnapshotEvery is the golden-state snapshot cadence in cycles
 	// (0 = no snapshots, every faulty run starts cold at cycle 0).
 	// When set, RunGolden captures the simulator state every

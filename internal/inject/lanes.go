@@ -1,0 +1,467 @@
+package inject
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/simc"
+	"repro/internal/zones"
+)
+
+// This file is the word-parallel campaign path (Target.Lanes > 1): up
+// to 64 experiments share one compiled simc.Machine, one bit-lane each.
+// Every lane replays exactly the serial runOne protocol — warm start,
+// fault apply/remove after the edge, SENS/OBSE/DIAG monitors against
+// the golden traces, per-lane cycle-budget aborts and per-lane early
+// retirement — so the batch results demux into the same in-order merge
+// and the report stays bit-identical to the serial campaign.
+
+// batchable reports whether the compiled kernel can host the injection
+// in a lane. Every fault model the planners emit qualifies; anything
+// unknown runs on the serial per-experiment path instead.
+func batchable(inj Injection) bool {
+	f := inj.Fault
+	switch f.Kind {
+	case faults.SA0, faults.SA1:
+		return f.Site == faults.SiteNet || f.Site == faults.SitePin
+	case faults.DelayX:
+		return f.Site == faults.SiteNet
+	case faults.Flip:
+		return f.Site == faults.SiteFF
+	case faults.BridgeAND, faults.BridgeOR:
+		return f.Site == faults.SiteNet
+	}
+	return false
+}
+
+// buildUnits partitions the pending plan indices into work units: each
+// unbatchable experiment is its own unit; batchable ones are sorted by
+// (injection cycle, plan index) — so the lanes of one batch want the
+// same golden snapshot — and chunked into units of up to lanes members.
+// Units are ordered by their lowest plan index, approximating the
+// ascending claim order of the per-experiment cursor.
+func buildUnits(st *campaignState, plan []Injection, lanes int) [][]int {
+	var units [][]int
+	var batch []int
+	for i := range plan {
+		if st.slots[i].done {
+			continue
+		}
+		if batchable(plan[i]) {
+			batch = append(batch, i)
+		} else {
+			units = append(units, []int{i})
+		}
+	}
+	sort.Slice(batch, func(x, y int) bool {
+		a, b := batch[x], batch[y]
+		if plan[a].Cycle != plan[b].Cycle {
+			return plan[a].Cycle < plan[b].Cycle
+		}
+		return a < b
+	})
+	for len(batch) > 0 {
+		n := min(lanes, len(batch))
+		units = append(units, batch[:n])
+		batch = batch[n:]
+	}
+	sort.Slice(units, func(x, y int) bool {
+		return minIndex(units[x]) < minIndex(units[y])
+	})
+	return units
+}
+
+func minIndex(unit []int) int {
+	m := unit[0]
+	for _, i := range unit[1:] {
+		if i < m {
+			m = i
+		}
+	}
+	return m
+}
+
+// runBatchRecovered is runBatch with panic isolation, like
+// runRecovered: a failing batch is discarded whole and every member is
+// retried on the serial supervised path.
+func (t *Target) runBatchRecovered(g *Golden, prog *simc.Program, plan []Injection, idxs []int) (res []ExpResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("lane batch panic: %v", r)
+		}
+	}()
+	return t.runBatch(g, prog, plan, idxs)
+}
+
+// laneExp is the per-lane bookkeeping of one batch member.
+type laneExp struct {
+	inj Injection
+	bit uint64
+
+	netRef simc.ForceRef
+	hasNet bool
+	pinRef simc.ForceRef
+	hasPin bool
+	brRef  simc.BridgeRef
+	hasBr  bool
+
+	// abortAt is the absolute trace cycle where the cooperative cycle
+	// budget fires for this lane (-1 = no budget). As in the serial
+	// path, the skipped warm-start prefix is charged to the budget, so
+	// the abort cycle is the same as a cold run's.
+	abortAt int
+
+	effNets   []netlist.NetID
+	zoneTrace []uint64
+}
+
+// runBatch executes up to 64 planned experiments in lockstep, one per
+// bit-lane of a compiled machine, and returns their results in idxs
+// order. Any error (or panic, via runBatchRecovered) means no result
+// was produced for any member; the caller reruns them serially.
+func (t *Target) runBatch(g *Golden, prog *simc.Program, plan []Injection, idxs []int) ([]ExpResult, error) {
+	a := t.Analysis
+	tr := g.Trace
+	lanes := len(idxs)
+	if lanes > 64 {
+		return nil, fmt.Errorf("inject: lanes: batch of %d exceeds the 64-lane word", lanes)
+	}
+
+	ports := make([]netlist.Port, len(tr.Ports))
+	for pi, name := range tr.Ports {
+		p, ok := prog.Netlist().FindInput(name)
+		if !ok {
+			return nil, fmt.Errorf("inject: lanes: trace port %q not in netlist", name)
+		}
+		ports[pi] = p
+	}
+
+	m := simc.NewMachine(prog)
+	lcs := make([]laneExp, lanes)
+	minCycle := plan[idxs[0]].Cycle
+	for k, i := range idxs {
+		inj := plan[i]
+		lc := &lcs[k]
+		lc.inj = inj
+		lc.bit = uint64(1) << uint(k)
+		lc.effNets = a.EffectNets(inj.Zone)
+		lc.zoneTrace = g.zoneVals[inj.Zone]
+		if inj.Cycle < minCycle {
+			minCycle = inj.Cycle
+		}
+		f := inj.Fault
+		switch {
+		case f.Kind == faults.Flip:
+			// State flips need no force point; FlipFF hits the lane mask.
+		case f.Kind == faults.BridgeAND || f.Kind == faults.BridgeOR:
+			lc.brRef = m.AddBridge(f.Net, f.Net2, f.Kind == faults.BridgeAND)
+			lc.hasBr = true
+		case f.Site == faults.SitePin:
+			ref, err := m.AddPinForce(f.Gate, f.Pin)
+			if err != nil {
+				return nil, err
+			}
+			lc.pinRef, lc.hasPin = ref, true
+		default: // SA0/SA1/DelayX on a net
+			lc.netRef, lc.hasNet = m.AddNetForce(f.Net), true
+		}
+		laneStart := 0
+		if sn := g.snapshotAtOrBefore(inj.Cycle); sn != nil {
+			laneStart = int(sn.Cycle())
+		}
+		lc.abortAt = -1
+		if cb := t.Supervision.CycleBudget; cb > 0 {
+			lc.abortAt = maxInt(laneStart, cb)
+		}
+	}
+
+	// The batch resumes from the snapshot usable by its earliest
+	// injection; later lanes deterministically replay the golden prefix
+	// they would have skipped serially, which cannot change their
+	// results (the faulty DUT is golden until the fault applies).
+	snap := g.snapshotAtOrBefore(minCycle)
+	start := 0
+	if snap != nil {
+		start = int(snap.Cycle())
+	}
+
+	// Each lane gets its own peripheral instances (behavioral models
+	// hold internal state), sampling and committing through lane-local
+	// accessors inside the machine's clock-edge callback.
+	periphs := make([][]sim.Peripheral, lanes)
+	gets := make([]func(netlist.NetID) sim.Value, lanes)
+	sets := make([]func(netlist.NetID, sim.Value), lanes)
+	for k := range lcs {
+		s, err := t.NewInstance()
+		if err != nil {
+			return nil, err
+		}
+		periphs[k] = s.Peripherals()
+		if snap != nil {
+			ps := snap.PeripheralStates()
+			if len(ps) != len(periphs[k]) {
+				return nil, fmt.Errorf("inject: lanes: snapshot has %d peripheral state(s), instance has %d",
+					len(ps), len(periphs[k]))
+			}
+			for j, p := range periphs[k] {
+				p.RestoreState(ps[j])
+			}
+			m.LoadLane(k, snap.FFValues(), snap.ExtValues())
+		} else {
+			// Cold start: the lane begins exactly where a fresh serial
+			// instance would.
+			sn := s.Snapshot()
+			m.LoadLane(k, sn.FFValues(), sn.ExtValues())
+		}
+		lane := k
+		gets[k] = func(id netlist.NetID) sim.Value { return m.NetValue(lane, id) }
+		sets[k] = func(id netlist.NetID, v sim.Value) { m.SetExt(lane, id, v) }
+	}
+
+	cb := t.Supervision.CycleBudget
+	earlyExitSafe := cb <= 0 || cb >= tr.Cycles()
+
+	full := ^uint64(0) >> uint(64-lanes)
+	active := full
+	var abortedLanes, sensLanes, funcLanes, diagLanes, flipLanes, elig uint64
+	for k := range lcs {
+		if lcs[k].inj.Fault.Kind == faults.Flip {
+			flipLanes |= lcs[k].bit
+		}
+	}
+	seen := make([]uint64, len(a.Obs))
+	firstDev := make([]int, lanes)
+	for k := range firstDev {
+		firstDev[k] = -1
+	}
+	devList := make([][]int, lanes)
+
+	retire := func(k int) {
+		lc := &lcs[k]
+		active &^= lc.bit
+		// Disarm the lane's fault so a retired lane cannot keep a bridge
+		// fixpoint (or anything else) busy; its planes are never read
+		// again.
+		if lc.hasNet {
+			m.ClearForce(lc.netRef, lc.bit)
+		}
+		if lc.hasPin {
+			m.ClearForce(lc.pinRef, lc.bit)
+		}
+		if lc.hasBr {
+			m.DisarmBridge(lc.brRef, lc.bit)
+		}
+	}
+	tick := func() {
+		for k := range periphs {
+			if active&lcs[k].bit == 0 {
+				continue
+			}
+			for _, p := range periphs[k] {
+				p.Sample(gets[k])
+			}
+		}
+		for k := range periphs {
+			if active&lcs[k].bit == 0 {
+				continue
+			}
+			for _, p := range periphs[k] {
+				p.Commit(sets[k])
+			}
+		}
+	}
+
+	var stepped int64
+	for c := start; c < tr.Cycles() && active != 0; c++ {
+		// Cooperative watchdog, checked before the cycle is simulated —
+		// the same point the serial loop polls its budget.
+		for k := range lcs {
+			lc := &lcs[k]
+			if active&lc.bit != 0 && lc.abortAt >= 0 && c >= lc.abortAt {
+				abortedLanes |= lc.bit
+				retire(k)
+			}
+		}
+		if active == 0 {
+			break
+		}
+		vec := tr.Vecs[c]
+		for pi := range ports {
+			for bit, id := range ports[pi].Nets {
+				m.DriveInput(id, sim.FromBool(vec[pi]>>uint(bit)&1 == 1))
+			}
+		}
+		m.Eval()
+		m.Step(tick)
+		stepped++
+		// Faults apply after the clock edge, per lane.
+		dirty := false
+		for k := range lcs {
+			lc := &lcs[k]
+			if active&lc.bit == 0 {
+				continue
+			}
+			if c == lc.inj.Cycle {
+				applyLaneFault(m, lc)
+				dirty = true
+			}
+			if lc.inj.Duration > 0 && c == lc.inj.Cycle+lc.inj.Duration {
+				removeLaneFault(m, lc)
+				dirty = true
+			}
+		}
+		if dirty {
+			m.Eval()
+		}
+		// Monitors, for lanes whose injection cycle has been reached.
+		if elig != full {
+			for k := range lcs {
+				if elig&lcs[k].bit == 0 && c >= lcs[k].inj.Cycle {
+					elig |= lcs[k].bit
+				}
+			}
+		}
+		mon := elig & active
+		if mon == 0 {
+			continue
+		}
+		for k := range lcs {
+			lc := &lcs[k]
+			if mon&lc.bit == 0 || sensLanes&lc.bit != 0 {
+				continue
+			}
+			if foldLane(m, k, lc.effNets) != lc.zoneTrace[c] {
+				sensLanes |= lc.bit
+			}
+		}
+		for oi := range a.Obs {
+			gv, gx := g.obs[oi].val[c], g.obs[oi].x[c]
+			var diff uint64
+			for bit, id := range a.Obs[oi].Nets {
+				nv, nx := m.NetPlanes(id)
+				diff |= (nv ^ -(gv >> uint(bit) & 1)) | (nx ^ -(gx >> uint(bit) & 1))
+			}
+			diff &= mon
+			if diff == 0 {
+				continue
+			}
+			newly := diff &^ seen[oi]
+			seen[oi] |= newly
+			for w := newly; w != 0; w &= w - 1 {
+				k := bits.TrailingZeros64(w)
+				devList[k] = append(devList[k], oi)
+			}
+			for w := diff; w != 0; w &= w - 1 {
+				k := bits.TrailingZeros64(w)
+				if firstDev[k] < 0 {
+					firstDev[k] = c
+				}
+			}
+			if a.Obs[oi].Kind == zones.Diagnostic {
+				diagLanes |= diff
+			} else {
+				funcLanes |= diff
+			}
+		}
+		// Per-lane early retirement: a lane with every monitor pinned
+		// cannot change its result row, so it stops consuming work while
+		// its siblings run on.
+		if earlyExitSafe {
+			done := mon & funcLanes & diagLanes & (sensLanes | flipLanes)
+			for w := done; w != 0; w &= w - 1 {
+				k := bits.TrailingZeros64(w)
+				if len(devList[k]) == len(a.Obs) {
+					retire(k)
+				}
+			}
+		}
+	}
+	t.Telemetry.AddSimCycles(stepped)
+
+	results := make([]ExpResult, lanes)
+	for k := range lcs {
+		lc := &lcs[k]
+		res := ExpResult{
+			Injection:     lc.inj,
+			Sens:          sensLanes&lc.bit != 0,
+			Deviated:      devList[k],
+			FirstDevCycle: firstDev[k],
+		}
+		if abortedLanes&lc.bit != 0 {
+			// An aborted lane keeps the partial monitor fields, like the
+			// serial abort return (no outcome switch, no flip override).
+			res.Outcome = Aborted
+		} else {
+			fd, dd := funcLanes&lc.bit != 0, diagLanes&lc.bit != 0
+			switch {
+			case fd && dd:
+				res.Outcome = DangerousDetected
+			case fd:
+				res.Outcome = DangerousUndetected
+			case dd:
+				res.Outcome = DetectedSafe
+			default:
+				res.Outcome = Silent
+			}
+			if lc.inj.Fault.Kind == faults.Flip {
+				res.Sens = true
+			}
+		}
+		results[k] = res
+	}
+	return results, nil
+}
+
+// applyLaneFault arms one lane's fault on the machine (the lane-masked
+// equivalent of faults.Fault.Apply; the caller re-Evals).
+func applyLaneFault(m *simc.Machine, lc *laneExp) {
+	f := lc.inj.Fault
+	switch f.Kind {
+	case faults.SA0, faults.SA1:
+		v := sim.V0
+		if f.Kind == faults.SA1 {
+			v = sim.V1
+		}
+		if lc.hasPin {
+			m.SetForce(lc.pinRef, lc.bit, v)
+		} else {
+			m.SetForce(lc.netRef, lc.bit, v)
+		}
+	case faults.Flip:
+		m.FlipFF(f.FF, lc.bit)
+	case faults.BridgeAND, faults.BridgeOR:
+		m.ArmBridge(lc.brRef, lc.bit)
+	case faults.DelayX:
+		m.SetForce(lc.netRef, lc.bit, sim.VX)
+	}
+}
+
+// removeLaneFault disarms one lane's fault (faults.Fault.Remove; a Flip
+// is not un-done).
+func removeLaneFault(m *simc.Machine, lc *laneExp) {
+	f := lc.inj.Fault
+	switch f.Kind {
+	case faults.SA0, faults.SA1, faults.DelayX:
+		if lc.hasPin {
+			m.ClearForce(lc.pinRef, lc.bit)
+		} else {
+			m.ClearForce(lc.netRef, lc.bit)
+		}
+	case faults.BridgeAND, faults.BridgeOR:
+		m.DisarmBridge(lc.brRef, lc.bit)
+	}
+}
+
+// foldLane is foldNets over one machine lane: the same FNV-1a fold the
+// golden run recorded, so the SENS compare is exact.
+func foldLane(m *simc.Machine, lane int, nets []netlist.NetID) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset
+	for _, id := range nets {
+		h = (h ^ uint64(m.NetValue(lane, id))) * 1099511628211
+	}
+	return h
+}

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/simc"
 	"repro/internal/zones"
 )
 
@@ -149,6 +151,24 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		}
 	}
 
+	// The word-parallel path: with Lanes > 1 the batchable pending
+	// experiments are grouped into lockstep lane batches on a compiled
+	// machine (see lanes.go). Wall-clock watchdogs are inherently
+	// nondeterministic and per-instance, so an armed one keeps the whole
+	// campaign on the serial per-experiment path.
+	lanes := min(t.Lanes, 64)
+	useLanes := lanes > 1 && len(plan) > 0 &&
+		!(sup.WallBudget > 0 && sup.Clock != nil)
+	var prog *simc.Program
+	var units [][]int
+	if useLanes {
+		var err error
+		if prog, err = simc.Compile(t.Analysis.N); err != nil {
+			return nil, err
+		}
+		units = buildUnits(st, plan, lanes)
+	}
+
 	var (
 		cursor  atomic.Int64
 		stopped atomic.Bool
@@ -176,6 +196,32 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 			stopped.Store(true)
 		}
 	}
+	// runSingle executes one claimed experiment on the serial supervised
+	// path and records its completion; expStart is its ExpStart stamp
+	// (already emitted by the claimer).
+	runSingle := func(i int, expStart time.Time) {
+		res, err := t.runSupervised(g, plan, i)
+		st.mu.Lock()
+		if err != nil {
+			if sup.Quarantine {
+				ee := err.(*ExperimentError)
+				st.slots[i] = expSlot{done: true, quar: true, q: Quarantined{
+					PlanIndex: i, Injection: plan[i], Attempts: ee.Attempts, Err: ee.Err.Error(),
+				}}
+				tel.Quarantine(i, ee.Attempts, ee.Err.Error())
+				finish()
+			} else {
+				errs[i] = err
+				stopped.Store(true)
+				tel.ExpFinish(i, "error", false, 0, -1, expStart)
+			}
+		} else {
+			st.slots[i] = expSlot{done: true, res: res}
+			tel.ExpFinish(i, res.Outcome.String(), res.Sens, len(res.Deviated), res.FirstDevCycle, expStart)
+			finish()
+		}
+		st.mu.Unlock()
+	}
 	work := func() {
 		for {
 			i := int(cursor.Add(1)) - 1
@@ -185,40 +231,63 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 			if st.slots[i].done { // preloaded from the checkpoint
 				continue
 			}
-			expStart := tel.ExpStart(i)
-			res, err := t.runSupervised(g, plan, i)
-			st.mu.Lock()
+			runSingle(i, tel.ExpStart(i))
+		}
+	}
+	// workUnits is the lanes variant: the cursor claims whole work
+	// units. A multi-lane batch that fails for any reason (error or
+	// panic) produces no results; every member is then rerun serially
+	// under the full supervision policy, so retry/quarantine semantics
+	// are identical to the per-experiment path.
+	workUnits := func() {
+		for {
+			u := int(cursor.Add(1)) - 1
+			if u >= len(units) || stopped.Load() {
+				return
+			}
+			idxs := units[u]
+			if len(idxs) == 1 {
+				i := idxs[0]
+				runSingle(i, tel.ExpStart(i))
+				continue
+			}
+			starts := make([]time.Time, len(idxs))
+			for k, i := range idxs {
+				starts[k] = tel.ExpStart(i)
+			}
+			tel.BatchStart(len(idxs))
+			results, err := t.runBatchRecovered(g, prog, plan, idxs)
+			tel.BatchDone(len(idxs))
 			if err != nil {
-				if sup.Quarantine {
-					ee := err.(*ExperimentError)
-					st.slots[i] = expSlot{done: true, quar: true, q: Quarantined{
-						PlanIndex: i, Injection: plan[i], Attempts: ee.Attempts, Err: ee.Err.Error(),
-					}}
-					tel.Quarantine(i, ee.Attempts, ee.Err.Error())
-					finish()
-				} else {
-					errs[i] = err
-					stopped.Store(true)
-					tel.ExpFinish(i, "error", false, 0, -1, expStart)
+				for k, i := range idxs {
+					runSingle(i, starts[k])
 				}
-			} else {
-				st.slots[i] = expSlot{done: true, res: res}
-				tel.ExpFinish(i, res.Outcome.String(), res.Sens, len(res.Deviated), res.FirstDevCycle, expStart)
+				continue
+			}
+			st.mu.Lock()
+			for k, i := range idxs {
+				st.slots[i] = expSlot{done: true, res: results[k]}
+				r := &results[k]
+				tel.ExpFinish(i, r.Outcome.String(), r.Sens, len(r.Deviated), r.FirstDevCycle, starts[k])
 				finish()
 			}
 			st.mu.Unlock()
 		}
 	}
 
+	loop := work
+	if useLanes {
+		loop = workUnits
+	}
 	if workers == 1 {
-		work()
+		loop()
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				work()
+				loop()
 			}()
 		}
 		wg.Wait()

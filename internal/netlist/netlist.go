@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NetID identifies a net (a single-bit wire) within one Netlist.
@@ -126,6 +127,34 @@ type Netlist struct {
 
 	driver map[NetID]driverRef
 	keep   []NetID
+
+	// epoch counts structural mutations; topo and valid memoize
+	// Levelize/Validate results for one epoch. Campaigns construct one
+	// simulator per experiment over a finished netlist, so both would
+	// otherwise re-walk the whole design per instance. The caches are
+	// atomic pointers: concurrent readers may race to compute the same
+	// deterministic result, and builds (the only mutators) are
+	// single-goroutine, so a plain epoch counter suffices.
+	epoch uint64
+	topo  atomic.Pointer[topoCache]
+	valid atomic.Pointer[validCache]
+}
+
+type topoCache struct {
+	epoch uint64
+	order []GateID
+	err   error
+}
+
+type validCache struct {
+	epoch uint64
+	err   error
+}
+
+// mutated invalidates the memoized Levelize/Validate results. Every
+// structural mutator calls it (directly or through AddNet/setDriver).
+func (n *Netlist) mutated() {
+	n.epoch++
 }
 
 type driverRef struct {
@@ -156,6 +185,7 @@ func New(name string) *Netlist {
 
 // AddNet creates a new net and returns its ID.
 func (n *Netlist) AddNet(name string) NetID {
+	n.mutated()
 	id := NetID(len(n.Nets))
 	n.Nets = append(n.Nets, Net{ID: id, Name: name})
 	return id
@@ -176,12 +206,14 @@ func (n *Netlist) ConstNet(v bool) NetID {
 		if n.Const1 == InvalidNet {
 			n.Const1 = n.AddNet("const1")
 			n.driver[n.Const1] = driverRef{kind: driverConst}
+			n.mutated()
 		}
 		return n.Const1
 	}
 	if n.Const0 == InvalidNet {
 		n.Const0 = n.AddNet("const0")
 		n.driver[n.Const0] = driverRef{kind: driverConst}
+		n.mutated()
 	}
 	return n.Const0
 }
@@ -244,11 +276,13 @@ func (n *Netlist) AddFFTo(name, block string, d, enable, q NetID, resetVal bool)
 // SetFFD rebinds the D input of an existing flip-flop. Used by the RTL
 // builder to close register feedback loops.
 func (n *Netlist) SetFFD(id FFID, d NetID) {
+	n.mutated()
 	n.FFs[id].D = d
 }
 
 // SetFFEnable rebinds the clock-enable of an existing flip-flop.
 func (n *Netlist) SetFFEnable(id FFID, en NetID) {
+	n.mutated()
 	n.FFs[id].Enable = en
 }
 
@@ -301,6 +335,7 @@ func (n *Netlist) IsDriven(id NetID) bool {
 
 // AddOutput registers a primary output port over existing nets.
 func (n *Netlist) AddOutput(name string, nets []NetID) {
+	n.mutated()
 	cp := make([]NetID, len(nets))
 	copy(cp, nets)
 	n.Outputs = append(n.Outputs, Port{Name: name, Nets: cp})
@@ -310,6 +345,7 @@ func (n *Netlist) setDriver(id NetID, ref driverRef) {
 	if prev, ok := n.driver[id]; ok && prev.kind != driverNone {
 		panic(fmt.Sprintf("netlist: net %s (%d) already driven", n.NetName(id), id))
 	}
+	n.mutated()
 	n.driver[id] = ref
 }
 
@@ -404,8 +440,19 @@ func (n *Netlist) FanoutCounts() []int {
 }
 
 // Levelize returns gate IDs in topological (evaluation) order. It fails
-// if the combinational logic contains a cycle.
+// if the combinational logic contains a cycle. The order is memoized
+// until the next structural mutation; callers must treat the returned
+// slice as read-only.
 func (n *Netlist) Levelize() ([]GateID, error) {
+	if c := n.topo.Load(); c != nil && c.epoch == n.epoch {
+		return c.order, c.err
+	}
+	order, err := n.levelize()
+	n.topo.Store(&topoCache{epoch: n.epoch, order: order, err: err})
+	return order, err
+}
+
+func (n *Netlist) levelize() ([]GateID, error) {
 	// Kahn's algorithm over gates; FF outputs, primary inputs and
 	// constants are sources.
 	indeg := make([]int32, len(n.Gates))
@@ -449,35 +496,50 @@ func (n *Netlist) Levelize() ([]GateID, error) {
 // exists and is driven, no net is driven twice (enforced at build time),
 // no combinational cycles, and every primary output is driven. All
 // structural violations are accumulated (errors.Join), so a single pass
-// reports the full list rather than the first hit.
+// reports the full list rather than the first hit. The verdict is
+// memoized until the next structural mutation, so per-experiment
+// simulator construction validates the shared design only once.
 func (n *Netlist) Validate() error {
+	if c := n.valid.Load(); c != nil && c.epoch == n.epoch {
+		return c.err
+	}
+	err := n.validate()
+	n.valid.Store(&validCache{epoch: n.epoch, err: err})
+	return err
+}
+
+func (n *Netlist) validate() error {
 	var errs []error
-	check := func(id NetID, what string) {
+	// what() renders the offending pin lazily: the success path walks
+	// every pin of the design and must not pay for error formatting.
+	check := func(id NetID, what func() string) {
 		if id < 0 || int(id) >= len(n.Nets) {
-			errs = append(errs, fmt.Errorf("netlist %q: %s references nonexistent net %d", n.Name, what, id))
+			errs = append(errs, fmt.Errorf("netlist %q: %s references nonexistent net %d", n.Name, what(), id))
 			return
 		}
 		ref, ok := n.driver[id]
 		if !ok || ref.kind == driverNone {
-			errs = append(errs, fmt.Errorf("netlist %q: %s reads undriven net %s", n.Name, what, n.NetName(id)))
+			errs = append(errs, fmt.Errorf("netlist %q: %s reads undriven net %s", n.Name, what(), n.NetName(id)))
 		}
 	}
 	for i := range n.Gates {
 		g := &n.Gates[i]
+		what := func() string { return fmt.Sprintf("gate %d (%s)", g.ID, g.Type) }
 		for _, in := range g.Inputs {
-			check(in, fmt.Sprintf("gate %d (%s)", g.ID, g.Type))
+			check(in, what)
 		}
 	}
 	for i := range n.FFs {
 		ff := &n.FFs[i]
-		check(ff.D, fmt.Sprintf("FF %q D pin", ff.Name))
+		check(ff.D, func() string { return fmt.Sprintf("FF %q D pin", ff.Name) })
 		if ff.Enable != InvalidNet {
-			check(ff.Enable, fmt.Sprintf("FF %q enable pin", ff.Name))
+			check(ff.Enable, func() string { return fmt.Sprintf("FF %q enable pin", ff.Name) })
 		}
 	}
 	for _, p := range n.Outputs {
+		what := func() string { return fmt.Sprintf("output port %q", p.Name) }
 		for _, id := range p.Nets {
-			check(id, fmt.Sprintf("output port %q", p.Name))
+			check(id, what)
 		}
 	}
 	if _, err := n.Levelize(); err != nil {
@@ -489,6 +551,7 @@ func (n *Netlist) Validate() error {
 // MarkKeep protects nets from dead-logic pruning even when no gate, FF
 // or port reads them — used for nets sampled by behavioral peripherals.
 func (n *Netlist) MarkKeep(nets ...NetID) {
+	n.mutated()
 	n.keep = append(n.keep, nets...)
 }
 
@@ -504,6 +567,7 @@ func (n *Netlist) Kept() []NetID {
 // the number of gates removed. Net IDs are preserved; removed gates'
 // output nets become undriven (and unread).
 func (n *Netlist) Prune() int {
+	n.mutated()
 	liveNets := make([]bool, len(n.Nets))
 	mark := func(id NetID) {
 		if id >= 0 && int(id) < len(liveNets) {

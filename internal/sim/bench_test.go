@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/randckt"
+	"repro/internal/xrand"
+)
+
+// BenchmarkEvalOnce pins the no-forces hot path of the levelized
+// interpreter: with no net or pin forces armed, evalOnce must do zero
+// map probes per gate (the len() guards in evalOnce and pinValue).
+func BenchmarkEvalOnce(b *testing.B) {
+	cfg := randckt.Default()
+	cfg.Gates = 400
+	cfg.FFs = 32
+	n := randckt.Generate(cfg, 7)
+	s, err := New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(11)
+	s.SetInput("in", rng.Bits(cfg.Inputs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.evalOnce(nil)
+	}
+}
+
+// BenchmarkEvalOnceForced is the contrast case: one armed net force
+// re-enables the per-gate probe, bounding what the guard saves.
+func BenchmarkEvalOnceForced(b *testing.B) {
+	cfg := randckt.Default()
+	cfg.Gates = 400
+	cfg.FFs = 32
+	n := randckt.Generate(cfg, 7)
+	s, err := New(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(11)
+	s.SetInput("in", rng.Bits(cfg.Inputs))
+	s.ForceNet(n.Gates[len(n.Gates)/2].Output, V1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.evalOnce(nil)
+	}
+}

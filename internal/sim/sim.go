@@ -406,8 +406,10 @@ func (s *Simulator) evalOnce(overlay map[netlist.NetID]Value) {
 	for _, gid := range s.order {
 		g := &n.Gates[gid]
 		out := s.evalGate(g)
-		if v, ok := s.forcedNets[g.Output]; ok {
-			out = v
+		if len(s.forcedNets) > 0 {
+			if v, ok := s.forcedNets[g.Output]; ok {
+				out = v
+			}
 		}
 		if s.bridgeDrive != nil {
 			if _, bridged := s.bridgeDrive[g.Output]; bridged {
@@ -599,4 +601,29 @@ func (s *Simulator) Restore(sn *Snapshot) {
 	}
 	s.cycle = sn.cycle
 	s.Eval()
+}
+
+// FFValues returns the snapshot's flip-flop state, indexed like
+// Netlist.FFs. The slice aliases the snapshot and must be treated as
+// read-only; it exists so the compiled word-parallel kernel can load
+// snapshots straight into lane planes without a serial Restore.
+func (sn *Snapshot) FFValues() []Value { return sn.state }
+
+// ExtValues returns the snapshot's settled external/input net values,
+// indexed by NetID. Read-only, like FFValues.
+func (sn *Snapshot) ExtValues() []Value { return sn.ext }
+
+// PeripheralStates returns the snapshot's opaque per-peripheral states
+// in attach order (nil when the source simulator had no peripherals).
+// Each entry feeds Peripheral.RestoreState on a matching instance.
+func (sn *Snapshot) PeripheralStates() []any { return sn.periph }
+
+// Peripherals returns the attached peripherals in attach order. The
+// word-parallel campaign path drives per-lane peripheral instances
+// directly (Sample/Commit with lane-local accessors), so it needs the
+// list a fresh instance was built with.
+func (s *Simulator) Peripherals() []Peripheral {
+	out := make([]Peripheral, len(s.peripherals))
+	copy(out, s.peripherals)
+	return out
 }

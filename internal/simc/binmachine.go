@@ -1,0 +1,183 @@
+package simc
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// BinMachine evaluates a compiled program in pure binary logic over a
+// single value plane — the PPSFP kernel behind internal/faultsim.
+// Stuck-at faults attach through the same FORCE patching as the
+// three-valued Machine, interpreted as per-lane or/clear masks.
+// Bridges are not supported (the fault simulator is stuck-at only).
+type BinMachine struct {
+	p      *Program
+	ops    []op
+	sealed bool
+
+	val   []uint64 // per slot
+	ext   []uint64 // per net: inputs as last driven (0 until driven)
+	state []uint64 // per FF
+	next  []uint64
+
+	netPatches []netPatch
+	pinPatches []pinPatch
+	netRefOf   map[int32]ForceRef
+	pinRefOf   map[uint64]ForceRef
+
+	fOr, fClr []uint64 // per force slot
+}
+
+// NewBinMachine builds a binary machine over the program.
+func NewBinMachine(p *Program) *BinMachine {
+	n := p.n
+	return &BinMachine{
+		p:        p,
+		ext:      make([]uint64, len(n.Nets)),
+		state:    make([]uint64, len(n.FFs)),
+		next:     make([]uint64, len(n.FFs)),
+		netRefOf: make(map[int32]ForceRef),
+		pinRefOf: make(map[uint64]ForceRef),
+	}
+}
+
+// AddNetForce registers a stuck-at point on a net; see Machine.
+func (b *BinMachine) AddNetForce(id netlist.NetID) ForceRef {
+	if b.sealed {
+		panic("simc: AddNetForce after the machine was sealed by its first Eval")
+	}
+	if ref, ok := b.netRefOf[int32(id)]; ok {
+		return ref
+	}
+	ref := ForceRef(len(b.fOr))
+	b.fOr = append(b.fOr, 0)
+	b.fClr = append(b.fClr, 0)
+	b.netRefOf[int32(id)] = ref
+	b.netPatches = append(b.netPatches, netPatch{net: int32(id), ref: int32(ref)})
+	return ref
+}
+
+// AddPinForce registers a stuck-at point on one gate input pin.
+func (b *BinMachine) AddPinForce(g netlist.GateID, pin int) (ForceRef, error) {
+	if b.sealed {
+		panic("simc: AddPinForce after the machine was sealed by its first Eval")
+	}
+	key := pinKeyOf(g, pin)
+	if ref, ok := b.pinRefOf[key]; ok {
+		return ref, nil
+	}
+	site, ok := b.p.pinSites[key]
+	if !ok {
+		return 0, fmt.Errorf("simc: no pin %d on gate %d", pin, g)
+	}
+	ref := ForceRef(len(b.fOr))
+	b.fOr = append(b.fOr, 0)
+	b.fClr = append(b.fClr, 0)
+	b.pinRefOf[key] = ref
+	b.pinPatches = append(b.pinPatches, pinPatch{site: site, ref: int32(ref)})
+	return ref, nil
+}
+
+// StuckAt arms a force slot: lanes in or are stuck at 1, lanes in clr
+// stuck at 0 (cumulative, like the fault simulator's per-chunk masks).
+func (b *BinMachine) StuckAt(ref ForceRef, or, clr uint64) {
+	b.fOr[ref] |= or
+	b.fClr[ref] |= clr
+}
+
+// ResetState loads every flip-flop's reset value into all lanes.
+func (b *BinMachine) ResetState() {
+	n := b.p.n
+	for i := range n.FFs {
+		if n.FFs[i].ResetVal {
+			b.state[i] = ^uint64(0)
+		} else {
+			b.state[i] = 0
+		}
+	}
+}
+
+// DriveInput drives one input net with a broadcast word.
+func (b *BinMachine) DriveInput(id netlist.NetID, w uint64) {
+	b.ext[id] = w
+}
+
+// Val reads a net's 64-lane word.
+func (b *BinMachine) Val(id netlist.NetID) uint64 { return b.val[id] }
+
+func (b *BinMachine) seal() {
+	ops, slots := patchOps(b.p, b.netPatches, b.pinPatches, nil)
+	b.ops = ops
+	b.val = make([]uint64, slots)
+	b.sealed = true
+}
+
+// Eval settles the network: sources load (constants, inputs, FF
+// outputs), then one pass over the op stream. Forces apply wherever
+// their FORCE ops were patched in, so a stuck-at on any net or pin is
+// visible to every reader exactly as in the map-based evaluator.
+func (b *BinMachine) Eval() {
+	if !b.sealed {
+		b.seal()
+	}
+	p := b.p
+	n := p.n
+	val := b.val
+	if n.Const0 != netlist.InvalidNet {
+		val[n.Const0] = 0
+	}
+	if n.Const1 != netlist.InvalidNet {
+		val[n.Const1] = ^uint64(0)
+	}
+	for _, id := range p.portNets {
+		val[id] = b.ext[id]
+	}
+	for i, q := range p.ffQ {
+		val[q] = b.state[i]
+	}
+	ops := b.ops
+	for i := range ops {
+		o := &ops[i]
+		switch o.code {
+		case opBUF:
+			val[o.out] = val[o.a]
+		case opNOT:
+			val[o.out] = ^val[o.a]
+		case opAND2:
+			val[o.out] = val[o.a] & val[o.b]
+		case opNAND2:
+			val[o.out] = ^(val[o.a] & val[o.b])
+		case opOR2:
+			val[o.out] = val[o.a] | val[o.b]
+		case opNOR2:
+			val[o.out] = ^(val[o.a] | val[o.b])
+		case opXOR2:
+			val[o.out] = val[o.a] ^ val[o.b]
+		case opXNOR2:
+			val[o.out] = ^(val[o.a] ^ val[o.b])
+		case opMUX2:
+			sel := val[o.a]
+			val[o.out] = sel&val[o.c] | ^sel&val[o.b]
+		case opFORCE:
+			val[o.out] = val[o.a]&^b.fClr[o.b] | b.fOr[o.b]
+		case opBRIDGE:
+			panic("simc: bridge op in a binary machine")
+		}
+	}
+}
+
+// Step clocks every flip-flop: enabled lanes load D, others hold.
+func (b *BinMachine) Step() {
+	p := b.p
+	for i := range p.ffQ {
+		d := b.val[p.ffD[i]]
+		if en := p.ffEn[i]; en >= 0 {
+			w := b.val[en]
+			b.next[i] = w&d | ^w&b.state[i]
+		} else {
+			b.next[i] = d
+		}
+	}
+	copy(b.state, b.next)
+}

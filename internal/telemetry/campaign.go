@@ -46,6 +46,9 @@ type Campaign struct {
 	preloaded   *Gauge
 	deviatedH   *Histogram
 	expWallH    *Histogram
+	batches     *Counter
+	lanesActive *Gauge
+	laneOccH    *Histogram
 
 	mu       sync.Mutex
 	outcomes map[string]*Counter
@@ -77,6 +80,9 @@ func NewCampaign(journal *Journal, clock func() time.Time) *Campaign {
 		preloaded:   r.Gauge("preloaded"),
 		deviatedH:   r.Histogram("deviated_points", 0, 1, 2, 4, 8, 16, 32),
 		expWallH:    r.Histogram("exp_wall_us", 100, 1000, 10_000, 100_000, 1_000_000, 10_000_000),
+		batches:     r.Counter("batches"),
+		lanesActive: r.Gauge("lanes_active"),
+		laneOccH:    r.Histogram("lane_occupancy", 1, 2, 4, 8, 16, 32, 64),
 		outcomes:    map[string]*Counter{},
 	}
 }
@@ -209,6 +215,27 @@ func (c *Campaign) CheckpointLoad(results, quarantined int) {
 		e.Int("results", int64(results))
 		e.Int("quarantined", int64(quarantined))
 	})
+}
+
+// BatchStart marks one word-parallel lane batch being claimed by a
+// worker: the batches counter, the lane-occupancy histogram (how full
+// the 64-lane word was) and the lanes_active gauge. Metrics only — the
+// journal records per-experiment lifecycle, which batches preserve.
+func (c *Campaign) BatchStart(lanes int) {
+	if c == nil {
+		return
+	}
+	c.batches.Inc()
+	c.laneOccH.Observe(int64(lanes))
+	c.lanesActive.Add(int64(lanes))
+}
+
+// BatchDone marks a lane batch leaving its worker.
+func (c *Campaign) BatchDone(lanes int) {
+	if c == nil {
+		return
+	}
+	c.lanesActive.Add(int64(-lanes))
 }
 
 // AddSimCycles accumulates simulated cycles (golden + faulty runs).
