@@ -4,15 +4,17 @@
 // campaign spends cycles on an inconsistent design.
 //
 // Output is an aligned text report or stable JSON (-json). The exit
-// code is 1 when any finding reaches the -severity threshold (default
-// error), 0 otherwise, and 2 on usage errors — so the command slots
-// directly into CI.
+// code is the CI contract, documented in --help:
+//
+//	0  the design is clean at the -severity threshold
+//	1  at least one finding at or above the threshold
+//	2  usage error, unknown design, or a build/check failure
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 
@@ -27,24 +29,43 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("drc: ")
-	design := flag.String("design", "v2", "design: v1, v2, cpu, cpu-lockstep or rand")
-	addrWidth := flag.Int("addr", 8, "address width for the memory sub-system designs")
-	seed := flag.Uint64("seed", 1, "seed for -design rand")
-	jsonOut := flag.Bool("json", false, "emit stable JSON instead of text")
-	sevFlag := flag.String("severity", "error", "exit non-zero at or above this severity (info, warn, error)")
-	rulesFlag := flag.String("rules", "", "comma-separated rule IDs to run (default all)")
-	skipFlag := flag.String("skip", "", "comma-separated rule IDs to skip")
-	corr := flag.Float64("corr", 0, "zone-correlation Jaccard threshold (0 = default)")
-	fitTol := flag.Float64("fit-tol", 0, "FIT conservation relative tolerance (0 = default)")
-	noWorksheet := flag.Bool("no-worksheet", false, "check only the netlist and zone layers")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("drc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: drc [flags]")
+		fmt.Fprintln(stderr, "\nStatic design-rule check over a design's (netlist, zones, worksheet) triple.")
+		fmt.Fprintln(stderr, "\nExit codes:")
+		fmt.Fprintln(stderr, "  0  clean: no finding at or above the -severity threshold")
+		fmt.Fprintln(stderr, "  1  at least one finding at or above the -severity threshold")
+		fmt.Fprintln(stderr, "  2  usage error, unknown design, or build/check failure")
+		fmt.Fprintln(stderr, "\nFlags:")
+		fs.PrintDefaults()
+	}
+	design := fs.String("design", "v2", "design: v1, v2, cpu, cpu-lockstep or rand")
+	addrWidth := fs.Int("addr", 8, "address width for the memory sub-system designs")
+	seed := fs.Uint64("seed", 1, "seed for -design rand")
+	jsonOut := fs.Bool("json", false, "emit stable JSON instead of text")
+	sevFlag := fs.String("severity", "error", "exit non-zero at or above this severity (info, warn, error)")
+	rulesFlag := fs.String("rules", "", "comma-separated rule IDs to run (default all)")
+	skipFlag := fs.String("skip", "", "comma-separated rule IDs to skip")
+	corr := fs.Float64("corr", 0, "zone-correlation Jaccard threshold (0 = default)")
+	fitTol := fs.Float64("fit-tol", 0, "FIT conservation relative tolerance (0 = default)")
+	noWorksheet := fs.Bool("no-worksheet", false, "check only the netlist and zone layers")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0 // asking for the manual is not a usage error
+		}
+		return 2
+	}
 
 	threshold, err := drc.ParseSeverity(*sevFlag)
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "drc: %v\n", err)
+		return 2
 	}
 	cfg := drc.DefaultConfig()
 	if *corr > 0 {
@@ -58,27 +79,28 @@ func main() {
 
 	in, err := buildInput(*design, *addrWidth, *seed, !*noWorksheet)
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "drc: %v\n", err)
+		return 2
 	}
 	res, err := drc.Run(in, cfg)
 	if err != nil {
-		log.Println(err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "drc: %v\n", err)
+		return 2
 	}
 	if *jsonOut {
 		out, err := res.JSON()
 		if err != nil {
-			log.Println(err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "drc: %v\n", err)
+			return 2
 		}
-		os.Stdout.Write(out)
+		stdout.Write(out)
 	} else {
-		fmt.Print(res.Render())
+		io.WriteString(stdout, res.Render())
 	}
 	if res.CountAtLeast(threshold) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func splitList(s string) []string {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the documented CI contract: 0 clean at threshold,
+// 1 findings at/above threshold, 2 usage or build errors.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean at default threshold", []string{"-design", "v1", "-addr", "6"}, 0},
+		{"warnings reach a warn threshold", []string{"-design", "v1", "-addr", "6", "-severity", "warn"}, 1},
+		{"unknown design", []string{"-design", "nope"}, 2},
+		{"bad severity", []string{"-design", "v1", "-severity", "loud"}, 2},
+		{"unknown flag", []string{"-frobnicate"}, 2},
+	}
+	for _, tc := range cases {
+		var out, errb bytes.Buffer
+		if got := run(tc.args, &out, &errb); got != tc.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, got, tc.want, errb.String())
+		}
+	}
+}
+
+// TestHelpDocumentsExitCodes: --help must exit 0 and its usage text must
+// spell out all three exit codes — the contract scripts rely on.
+func TestHelpDocumentsExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"--help"}, &out, &errb); got != 0 {
+		t.Fatalf("--help: exit %d, want 0", got)
+	}
+	usage := errb.String()
+	for _, want := range []string{
+		"Exit codes:",
+		"0  clean",
+		"1  at least one finding",
+		"2  usage error",
+	} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage text missing %q:\n%s", want, usage)
+		}
+	}
+}
+
+// TestReportGoesToStdout: findings render on stdout, diagnostics on
+// stderr, so shell pipelines can separate report from noise.
+func TestReportGoesToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-design", "v1", "-addr", "6"}, &out, &errb); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("no report on stdout")
+	}
+	if errb.Len() != 0 {
+		t.Errorf("unexpected stderr on a clean run: %s", errb.String())
+	}
+}

@@ -13,6 +13,13 @@
 // (internal/simc); the report is byte-identical to the serial path for
 // any workers x lanes combination.
 //
+// With -collapse the static fault-analysis pre-pass (internal/
+// statfault) runs before the campaign: experiments with a statically
+// provable verdict (unobservable cones, untestable constants, golden-
+// quiescent forces) skip simulation, and campaign-exact equivalent
+// experiments share one simulation with the outcome copied onto every
+// class member; the report is byte-identical to an uncollapsed run.
+//
 // Campaign execution is supervised: per-experiment watchdogs
 // (-exp-cycle-budget, -exp-timeout), retry + quarantine of failing
 // experiments (-retries), and deterministic checkpoint/resume
@@ -67,6 +74,7 @@ func run() int {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
 	warmstart := flag.Int("warmstart", 0, "golden snapshot cadence in cycles for warm-started experiments (0 = cold start; results are identical)")
 	lanes := flag.Int("lanes", 1, "bit-parallel simulation lanes per worker, 1..64 (compiled kernel; results are identical)")
+	collapse := flag.Bool("collapse", false, "static fault-analysis pre-pass: prune statically-provable experiments and simulate one representative per equivalence class (results are identical)")
 	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
 	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
 	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (enables periodic checkpointing)")
@@ -181,6 +189,7 @@ func run() int {
 	target.Workers = *workers
 	target.SnapshotEvery = *warmstart
 	target.Lanes = *lanes
+	target.Collapse = *collapse
 	target.Supervision = inject.Supervision{
 		CycleBudget:     *cycleBudget,
 		WallBudget:      *expTimeout,

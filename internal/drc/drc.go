@@ -256,7 +256,7 @@ func (r *Result) Summary() string {
 func Registry() []Rule {
 	rules := make([]Rule, 0, len(registry))
 	rules = append(rules, registry...)
-	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID }) //det:order IDs unique (register panics on duplicates)
 	return rules
 }
 

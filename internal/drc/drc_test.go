@@ -155,6 +155,33 @@ func TestRulesFireOnViolation(t *testing.T) {
 			n.AddOutput("alarm_x", []netlist.NetID{chk})
 			return Input{Netlist: n, Analysis: extract(t, n)}
 		}, "feed only diagnostic observation points"},
+		{"DRC-S001", func(t *testing.T) Input {
+			n := netlist.New("unreachable")
+			din := n.AddInput("din", 1)[0]
+			_, q := n.AddFF("r[0]", "B", din, netlist.InvalidNet, false)
+			// A gate output read by nothing: unlike a register Q (which
+			// seeds its own zone's SENS effect set) it reaches no monitor.
+			n.AddGate(netlist.AND, "B", din, q)
+			n.AddOutput("o", []netlist.NetID{q})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "statically Silent"},
+		{"DRC-S002", func(t *testing.T) Input {
+			n := netlist.New("constlogic")
+			din := n.AddInput("din", 1)[0]
+			k := n.AddGate(netlist.OR, "B", din, n.ConstNet(true)) // provably 1
+			out := n.AddGate(netlist.AND, "B", din, k)
+			n.AddOutput("o", []netlist.NetID{out})
+			return Input{Netlist: n}
+		}, "untestable"},
+		{"DRC-S003", func(t *testing.T) Input {
+			n := netlist.New("crossblock")
+			din := n.AddInput("din", 1)[0]
+			x := n.AddGate(netlist.BUF, "BLK_A", din)
+			y := n.AddGate(netlist.NOT, "BLK_B", x) // x-SA-v ≡ y-SA-!v across blocks
+			_, q := n.AddFF("r[0]", "BLK_B", y, netlist.InvalidNet, false)
+			n.AddOutput("o", []netlist.NetID{q})
+			return Input{Netlist: n, Analysis: extract(t, n)}
+		}, "spans multiple blocks"},
 		{"DRC-W001", func(t *testing.T) Input {
 			in := cleanTriple(t)
 			// Claim coverage with no backing technique — bypasses AddRow's
@@ -293,7 +320,7 @@ func TestMissingLayersSkip(t *testing.T) {
 			t.Errorf("rule %s ran without its input layer", id)
 		}
 	}
-	if len(res.Ran) != 6 {
+	if len(res.Ran) != 7 { // DRC-N001..N006 + DRC-S002
 		t.Fatalf("netlist-only run executed %v", res.Ran)
 	}
 	res, err = Run(Input{Netlist: full.Netlist, Analysis: full.Analysis, Worksheet: full.Worksheet}, Config{})

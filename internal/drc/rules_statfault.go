@@ -1,0 +1,141 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/statfault"
+)
+
+func init() {
+	register(Rule{
+		ID: "DRC-S001", Severity: Warning, Layer: LayerZones,
+		Title: "fault site unreachable from every monitor",
+		check: checkMonitorUnreachable,
+	})
+	register(Rule{
+		ID: "DRC-S002", Severity: Info, Layer: LayerNetlist,
+		Title: "untestable stuck-at on a proven-constant net",
+		check: checkUntestableConstants,
+	})
+	register(Rule{
+		ID: "DRC-S003", Severity: Info, Layer: LayerZones,
+		Title: "collapse class spanning multiple blocks",
+		check: checkCrossBlockClasses,
+	})
+}
+
+// checkMonitorUnreachable flags nets from whose forward cone neither an
+// observation point nor any zone's SENS effect set is reachable: a
+// fault injected there is Silent by construction, so the site wastes
+// campaign budget and its zone's coverage claims rest on nothing.
+func checkMonitorUnreachable(c *ctx) {
+	sf, err := statfault.New(c.in.Analysis)
+	if err != nil {
+		return // structural defects are DRC-N territory
+	}
+	n := c.in.Netlist
+	for id := range n.Nets {
+		net := netlist.NetID(id)
+		if sf.ReachesObs(net) {
+			continue
+		}
+		reachesZone := false
+		for z := range c.in.Analysis.Zones {
+			if sf.ReachesZoneEffect(net, z) {
+				reachesZone = true
+				break
+			}
+		}
+		if reachesZone {
+			continue
+		}
+		c.report(Loc{Net: n.NetName(net)},
+			fmt.Sprintf("no monitor (observation point or SENS effect set) is reachable from net %s: every fault there is statically Silent", n.NetName(net)),
+			"extend an observation point over this cone, or exclude the site from injection plans")
+	}
+}
+
+// checkUntestableConstants flags nets whose logic provably computes a
+// constant (tie cells excluded — a deliberate constant is not a
+// defect): a planned stuck-at forcing the proven value is untestable,
+// and constant logic in a datapath usually means dead configurability.
+func checkUntestableConstants(c *ctx) {
+	n := c.in.Netlist
+	sf, err := statfault.ForMonitors(n, nil, nil)
+	if err != nil {
+		return
+	}
+	for id := range n.Nets {
+		net := netlist.NetID(id)
+		if net == n.Const0 || net == n.Const1 {
+			continue
+		}
+		v, ok := sf.ConstNet(net)
+		if !ok {
+			continue
+		}
+		loc := Loc{Net: n.NetName(net)}
+		if g, gok := n.DriverGate(net); gok {
+			loc = gateLoc(n, g)
+		}
+		c.report(loc,
+			fmt.Sprintf("net %s provably holds %s in every fault-free run: stuck-at-%s there is untestable", n.NetName(net), boolBitName(v), boolBitName(v)),
+			"remove the constant logic or drop the untestable atom from fault universes")
+	}
+}
+
+// checkCrossBlockClasses flags campaign-exact equivalence classes whose
+// member nets are driven from different hierarchical blocks: one
+// simulated representative then stands for faults whose FIT belongs to
+// different worksheet rows, so per-block FIT apportionment from
+// campaign tallies is ambiguous for these sites.
+func checkCrossBlockClasses(c *ctx) {
+	sf, err := statfault.New(c.in.Analysis)
+	if err != nil {
+		return
+	}
+	n := c.in.Netlist
+	blockOf := func(at statfault.Atom) (string, bool) {
+		id, _ := at.Net()
+		if g, ok := n.DriverGate(id); ok {
+			return g.Block, true
+		}
+		if ff, ok := n.DriverFF(id); ok {
+			return ff.Block, true
+		}
+		return "", false
+	}
+	for _, cl := range sf.Classes() {
+		first, seeded := "", false
+		cross := false
+		for _, m := range cl.Members {
+			b, ok := blockOf(m)
+			if !ok {
+				continue
+			}
+			if !seeded {
+				first, seeded = b, true
+				continue
+			}
+			if b != first {
+				cross = true
+				break
+			}
+		}
+		if !cross {
+			continue
+		}
+		repNet, repV := cl.Rep.Net()
+		c.report(Loc{Block: first, Net: n.NetName(repNet)},
+			fmt.Sprintf("equivalence class of %s/SA%s spans multiple blocks (%d members): one representative's verdict stands for faults billed to different FIT rows", n.NetName(repNet), boolBitName(repV), len(cl.Members)),
+			"apportion the class FIT across member blocks, or keep per-block members uncollapsed in FIT-sensitive campaigns")
+	}
+}
+
+func boolBitName(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

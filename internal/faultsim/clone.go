@@ -22,6 +22,7 @@ func (e *Engine) Clone() *Engine {
 		n:         e.n,
 		prog:      e.prog, // immutable, shared read-only
 		Telemetry: e.Telemetry, // shared hub; counters are atomic
+		Collapse:  e.Collapse,
 	}
 }
 
@@ -38,47 +39,40 @@ func (e *Engine) RunParallel(tr *workload.Trace, funcObs, diagObs []netlist.NetI
 		}
 	}
 	res := Result{PerFault: make([]Detection, len(list)), Total: len(list)}
-	nchunks := (len(list) + lanesPerPass - 1) / lanesPerPass
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	var fc *faultCollapse
+	if e.Collapse {
+		fc = e.collapseList(funcObs, diagObs, list)
 	}
-	if workers > nchunks {
-		workers = nchunks
-	}
-	if nchunks > 0 {
-		portNets, err := e.resolvePorts(tr)
-		if err != nil {
+	if fc == nil {
+		if err := e.simulate(tr, funcObs, diagObs, list, res.PerFault, workers); err != nil {
 			return Result{}, err
 		}
-		if workers <= 1 {
-			for base := 0; base < len(list); base += lanesPerPass {
-				hi := min(base+lanesPerPass, len(list))
-				e.runChunk(tr, portNets, funcObs, diagObs, list[base:hi], res.PerFault[base:hi])
+	} else {
+		// Pack the representatives into their own chunk sequence. Lanes
+		// are bitwise-independent, so repacking cannot change a verdict;
+		// statically pruned faults keep the zero Detection and collapsed
+		// faults copy their representative's.
+		var simIdx []int
+		var sub []faults.Fault
+		for i := range list {
+			if !fc.static[i] && fc.dep[i] < 0 {
+				simIdx = append(simIdx, i)
+				sub = append(sub, list[i])
 			}
-		} else {
-			var cursor atomic.Int64
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				eng := e
-				if w > 0 {
-					eng = e.Clone()
-				}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						ci := int(cursor.Add(1)) - 1
-						if ci >= nchunks {
-							return
-						}
-						base := ci * lanesPerPass
-						hi := min(base+lanesPerPass, len(list))
-						eng.runChunk(tr, portNets, funcObs, diagObs, list[base:hi], res.PerFault[base:hi])
-					}
-				}()
-			}
-			wg.Wait()
 		}
+		per := make([]Detection, len(sub))
+		if err := e.simulate(tr, funcObs, diagObs, sub, per, workers); err != nil {
+			return Result{}, err
+		}
+		for k, i := range simIdx {
+			res.PerFault[i] = per[k]
+		}
+		for i := range list {
+			if fc.dep[i] >= 0 {
+				res.PerFault[i] = res.PerFault[fc.dep[i]]
+			}
+		}
+		e.Telemetry.CollapseFaults(fc.nStatic, fc.nDup)
 	}
 	for _, d := range res.PerFault {
 		if d.Func {
@@ -92,4 +86,55 @@ func (e *Engine) RunParallel(tr *workload.Trace, funcObs, diagObs []netlist.NetI
 		}
 	}
 	return res, nil
+}
+
+// simulate runs the fault list through the 64-lane chunk machinery,
+// writing verdicts into per (len(per) == len(list)): the serial chunk
+// walk or worker clones claiming chunks from an atomic cursor, with
+// identical results for any worker count.
+func (e *Engine) simulate(tr *workload.Trace, funcObs, diagObs []netlist.NetID, list []faults.Fault, per []Detection, workers int) error {
+	nchunks := (len(list) + lanesPerPass - 1) / lanesPerPass
+	if nchunks == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	portNets, err := e.resolvePorts(tr)
+	if err != nil {
+		return err
+	}
+	if workers <= 1 {
+		for base := 0; base < len(list); base += lanesPerPass {
+			hi := min(base+lanesPerPass, len(list))
+			e.runChunk(tr, portNets, funcObs, diagObs, list[base:hi], per[base:hi])
+		}
+		return nil
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		eng := e
+		if w > 0 {
+			eng = e.Clone()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				base := ci * lanesPerPass
+				hi := min(base+lanesPerPass, len(list))
+				eng.runChunk(tr, portNets, funcObs, diagObs, list[base:hi], per[base:hi])
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
 }

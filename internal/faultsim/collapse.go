@@ -1,0 +1,117 @@
+package faultsim
+
+import (
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/statfault"
+)
+
+// faultCollapse is the outcome of the static pre-pass over one fault
+// list: static faults are proven undetectable without simulation, dep
+// points collapsed faults at the earlier list index whose verdict they
+// inherit, and everything else is simulated.
+type faultCollapse struct {
+	dep    []int
+	static []bool
+	nStatic, nDup int
+}
+
+// colKey identifies campaign-exact equivalent stuck-at faults in one
+// fault list. Atom-keyed faults (net stuck-ats and controlling-value
+// pin stuck-ats) share a key with every member of their statfault
+// equivalence class; non-controlling pin faults only fold with exact
+// duplicates of themselves.
+type colKey struct {
+	tag  uint8 // 0 = canonical atom, 1 = exact (gate, pin, value)
+	a, b int32
+}
+
+// collapseList runs the static pre-pass. Fault simulation injects
+// every fault permanently from cycle 0 against a fully binary
+// workload, so two faults are interchangeable exactly when they force
+// the same canonical stuck-at atom — no cycle or duration enters the
+// key. Returns nil when the analysis fails or nothing was pruned or
+// folded (the caller then runs the unmodified path).
+func (e *Engine) collapseList(funcObs, diagObs []netlist.NetID, list []faults.Fault) *faultCollapse {
+	sf, err := statfault.ForMonitors(e.n, funcObs, diagObs)
+	if err != nil {
+		return nil
+	}
+	fc := &faultCollapse{dep: make([]int, len(list)), static: make([]bool, len(list))}
+	seen := make(map[colKey]int, len(list))
+	for i, f := range list {
+		fc.dep[i] = -1
+		v := f.Kind == faults.SA1
+		var key colKey
+		switch f.Site {
+		case faults.SiteNet:
+			// Untestable: forcing a net to its proven fault-free constant
+			// leaves the machine golden. Unobservable: no observation
+			// point lies in the net's forward cone.
+			if cv, ok := sf.ConstNet(f.Net); ok && cv == v {
+				fc.static[i] = true
+				fc.nStatic++
+				continue
+			}
+			if !sf.ReachesObs(f.Net) {
+				fc.static[i] = true
+				fc.nStatic++
+				continue
+			}
+			key = colKey{tag: 0, a: int32(sf.Canon(f.Net, v))}
+		case faults.SitePin:
+			g := gateOf(e.n, f.Gate)
+			if g == nil || f.Pin < 0 || f.Pin >= len(g.Inputs) {
+				// Mirrors runPass: a pin the gate does not have cannot be
+				// forced, the lane stays golden.
+				fc.static[i] = true
+				fc.nStatic++
+				continue
+			}
+			if !sf.ReachesObs(g.Output) {
+				// A pin fault only acts through its gate output.
+				fc.static[i] = true
+				fc.nStatic++
+				continue
+			}
+			if at, ok := sf.PinAtom(f.Gate, f.Pin, v); ok {
+				if rn, rv := at.Net(); rn >= 0 {
+					if cv, cok := sf.ConstNet(rn); cok && cv == rv {
+						fc.static[i] = true
+						fc.nStatic++
+						continue
+					}
+				}
+				key = colKey{tag: 0, a: int32(at)}
+			} else {
+				key = colKey{tag: 1, a: int32(f.Gate), b: int32(f.Pin)<<1 | boolBit(v)}
+			}
+		default:
+			continue // RunParallel already rejected non-stuck-at kinds
+		}
+		if r, ok := seen[key]; ok {
+			fc.dep[i] = r
+			fc.nDup++
+			continue
+		}
+		seen[key] = i
+	}
+	if fc.nStatic == 0 && fc.nDup == 0 {
+		return nil
+	}
+	return fc
+}
+
+func gateOf(n *netlist.Netlist, gid netlist.GateID) *netlist.Gate {
+	if gid < 0 || int(gid) >= len(n.Gates) {
+		return nil
+	}
+	return &n.Gates[gid]
+}
+
+func boolBit(v bool) int32 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,86 @@
+package faultsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/randckt"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TestCollapseResultIdentical: with the static pre-pass on, the
+// fault-simulation Result — per-fault verdicts and all tallies — must
+// be identical to the uncollapsed run, over random circuits, the full
+// uncollapsed stuck-at universe (net and pin sites), and any worker
+// count. The pre-pass must also actually fire on a nontrivial share of
+// the seeds, or the property is vacuous.
+func TestCollapseResultIdentical(t *testing.T) {
+	fired := 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		n := randckt.Generate(randckt.Default(), seed)
+		eng, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := workload.Random(xrand.New(seed+500), []string{"in"}, map[string]int{"in": 6}, 30)
+		out, _ := n.FindOutput("out")
+		list := faults.StuckAtUniverse(n).All
+		ref, err := eng.Run(tr, out.Nets, nil, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fc := eng.collapseList(out.Nets, nil, list); fc != nil {
+			fired++
+		}
+		for _, workers := range []int{1, 4} {
+			ceng := eng.Clone()
+			ceng.Collapse = true
+			got, err := ceng.RunParallel(tr, out.Nets, nil, list, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("seed %d workers %d: collapsed result differs from reference", seed, workers)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("vacuous: the pre-pass never pruned or collapsed anything on 10 random circuits")
+	}
+}
+
+// TestCollapseFaultsTelemetry pins the counter wiring: a collapsed
+// fault-simulation run must report its pruned/collapsed tallies on the
+// shared hub without touching experiment progress.
+func TestCollapseFaultsTelemetry(t *testing.T) {
+	n := randckt.Generate(randckt.Default(), 3)
+	eng, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.NewCampaign(nil, nil)
+	eng.Telemetry = tel
+	eng.Collapse = true
+	tr := workload.Random(xrand.New(503), []string{"in"}, map[string]int{"in": 6}, 30)
+	out, _ := n.FindOutput("out")
+	list := faults.StuckAtUniverse(n).All
+	fc := eng.collapseList(out.Nets, nil, list)
+	if fc == nil {
+		t.Skip("pre-pass found nothing on this seed; covered by TestCollapseResultIdentical")
+	}
+	if _, err := eng.Run(tr, out.Nets, nil, list); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Registry.Counter("faults_static_pruned").Load(); got != int64(fc.nStatic) {
+		t.Fatalf("faults_static_pruned = %d, want %d", got, fc.nStatic)
+	}
+	if got := tel.Registry.Counter("faults_collapsed").Load(); got != int64(fc.nDup) {
+		t.Fatalf("faults_collapsed = %d, want %d", got, fc.nDup)
+	}
+	if got := tel.Registry.Counter("exp_done").Load(); got != 0 {
+		t.Fatalf("exp_done = %d, want 0 — fault simulation must not fake experiment progress", got)
+	}
+}

@@ -41,6 +41,14 @@ type Engine struct {
 	// Clones share the hub, so parallel shards aggregate into one set
 	// of counters.
 	Telemetry *telemetry.Campaign
+
+	// Collapse enables the static pre-pass (internal/statfault) before
+	// simulation: faults proven undetectable (no observation point in
+	// the forward cone, or a stuck-at matching a proven constant) are
+	// graded without occupying a lane, and campaign-exact equivalent
+	// faults share one lane with the verdict copied onto every class
+	// member. The Result is identical to the uncollapsed run.
+	Collapse bool
 }
 
 // New builds an engine. The design must validate and must not contain

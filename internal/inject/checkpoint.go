@@ -120,9 +120,9 @@ func appendRecord(b, body []byte) []byte {
 // state always yields the same bytes.
 func EncodeCheckpoint(ck *Checkpoint, plan []Injection) []byte {
 	results := append([]IndexedResult(nil), ck.Results...)
-	sort.Slice(results, func(i, j int) bool { return results[i].PlanIndex < results[j].PlanIndex })
+	sort.Slice(results, func(i, j int) bool { return results[i].PlanIndex < results[j].PlanIndex }) //det:order PlanIndex unique per result
 	quar := append([]Quarantined(nil), ck.Quarantined...)
-	sort.Slice(quar, func(i, j int) bool { return quar[i].PlanIndex < quar[j].PlanIndex })
+	sort.Slice(quar, func(i, j int) bool { return quar[i].PlanIndex < quar[j].PlanIndex }) //det:order PlanIndex unique per quarantine entry
 
 	b := append([]byte(nil), checkpointMagic...)
 	b = appendU16(b, checkpointVersion)

@@ -1,0 +1,356 @@
+package inject
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/statfault"
+)
+
+// planCollapse is the static pre-pass over one campaign plan: which
+// rows are statically classified (their full result row is known
+// without simulating a cycle) and which rows are campaign-exact
+// equivalents of an earlier representative (their result row is copied
+// from the representative during the in-order merge). Both prunings
+// are sound by construction — the report stays byte-identical to the
+// uncollapsed run — and the pre-pass is disabled entirely whenever a
+// wall-clock watchdog is armed (the one supervision mode whose verdicts
+// are not a pure function of the plan).
+type planCollapse struct {
+	// dep[i] >= 0 names the representative plan row whose outcome row i
+	// inherits; -1 means row i is simulated (or statically classified).
+	dep []int
+	// static[i] marks rows whose result is pre-computed in res[i].
+	static []bool
+	res    []ExpResult
+
+	nStatic, nDup int
+}
+
+// collapsePlan runs the static pre-pass. A nil return means "nothing
+// to prune" (or the analysis could not be built) and the campaign
+// proceeds exactly as without -collapse.
+//
+// Static classification uses three proof families:
+//
+//   - unobservable: no observation point and no net of the injected
+//     zone's SENS group lies in the fault site's forward cone, so no
+//     monitor can ever deviate (for flips only the observation cone
+//     matters — SENS is implied for flips by the runner);
+//   - untestable: the stuck-at polarity equals the net's proven
+//     fault-free constant, so the faulty machine is the golden machine;
+//   - golden-quiescent: the recorded golden trace holds the forced
+//     value at every instant the force is active (a boundary flip that
+//     picked the resting polarity, the dominant case for transient
+//     plans), so forcing it changes nothing.
+//
+// All three produce the exact serial result row: Silent, SENS false
+// (true for flips, where the runner forces it), no deviations,
+// FirstDevCycle -1.
+//
+// Classification is skipped when a cycle budget could abort mid-trace
+// (the serial row would then be Aborted, not Silent); equivalence
+// collapsing stays on — equivalent rows share the same injection cycle
+// and duration, so they abort identically too.
+func (t *Target) collapsePlan(g *Golden, plan []Injection) *planCollapse {
+	sf, err := statfault.New(t.Analysis)
+	if err != nil {
+		return nil
+	}
+	cb := t.Supervision.CycleBudget
+	staticOK := cb <= 0 || cb >= g.Trace.Cycles()
+	var q *quiescence
+	if staticOK {
+		q = t.traceQuiescence(g, plan)
+	}
+	pc := &planCollapse{
+		dep:    make([]int, len(plan)),
+		static: make([]bool, len(plan)),
+		res:    make([]ExpResult, len(plan)),
+	}
+	seen := map[planKey]int{}
+	for i := range plan {
+		pc.dep[i] = -1
+		if staticOK {
+			if res, ok := staticResult(sf, q, plan[i], g.Trace.Cycles()); ok {
+				pc.static[i] = true
+				pc.res[i] = res
+				pc.nStatic++
+				continue
+			}
+		}
+		key, ok := collapseKey(sf, plan[i])
+		if !ok {
+			continue
+		}
+		if r, dup := seen[key]; dup {
+			pc.dep[i] = r
+			pc.nDup++
+		} else {
+			seen[key] = i
+		}
+	}
+	if pc.nStatic == 0 && pc.nDup == 0 {
+		return nil
+	}
+	return pc
+}
+
+// staticSilent is the result row every static proof produces: the row
+// runOne builds when no monitor ever deviates.
+func staticSilent(inj Injection, sens bool) ExpResult {
+	return ExpResult{Injection: inj, Outcome: Silent, Sens: sens, FirstDevCycle: -1}
+}
+
+// staticResult classifies one planned injection without simulation, or
+// reports ok=false when no proof applies and the row must be simulated.
+func staticResult(sf *statfault.Analysis, q *quiescence, inj Injection, cycles int) (ExpResult, bool) {
+	f := inj.Fault
+	if inj.Cycle >= cycles {
+		// The fault never applies and the monitors never arm.
+		return staticSilent(inj, f.Kind == faults.Flip), true
+	}
+	n := sf.Netlist()
+	switch f.Kind {
+	case faults.SA0, faults.SA1:
+		v := f.Kind == faults.SA1
+		if f.Site == faults.SitePin {
+			if f.Gate < 0 || int(f.Gate) >= len(n.Gates) {
+				return ExpResult{}, false
+			}
+			g := &n.Gates[f.Gate]
+			if f.Pin < 0 || f.Pin >= len(g.Inputs) {
+				// An out-of-range pin force is never read: a no-op.
+				return staticSilent(inj, false), true
+			}
+			// A pin force perturbs nothing upstream of the gate output.
+			if !sf.ReachesObs(g.Output) && !sf.ReachesZoneEffect(g.Output, inj.Zone) {
+				return staticSilent(inj, false), true
+			}
+			// Quiescent when the pin's net already carries the forced
+			// value whenever the gate evaluates under the force.
+			if q != nil && q.netQuiescent(g.Inputs[f.Pin], sim.FromBool(v), inj.Cycle, inj.Duration) {
+				return staticSilent(inj, false), true
+			}
+			return ExpResult{}, false
+		}
+		if cv, ok := sf.ConstNet(f.Net); ok && cv == v {
+			return staticSilent(inj, false), true
+		}
+		if !sf.ReachesObs(f.Net) && !sf.ReachesZoneEffect(f.Net, inj.Zone) {
+			return staticSilent(inj, false), true
+		}
+		if q != nil && q.netQuiescent(f.Net, sim.FromBool(v), inj.Cycle, inj.Duration) {
+			return staticSilent(inj, false), true
+		}
+	case faults.Flip:
+		if f.FF < 0 || int(f.FF) >= len(n.FFs) {
+			return ExpResult{}, false
+		}
+		// SENS is implied by the runner for flips, so only the
+		// observation cone decides the verdict.
+		if !sf.ReachesObs(n.FFs[f.FF].Q) {
+			return staticSilent(inj, true), true
+		}
+		// Flipping an X leaves an X (Kleene complement).
+		if q != nil && q.ffX(f.FF, inj.Cycle) {
+			return staticSilent(inj, true), true
+		}
+	case faults.DelayX:
+		if !sf.ReachesObs(f.Net) && !sf.ReachesZoneEffect(f.Net, inj.Zone) {
+			return staticSilent(inj, false), true
+		}
+		if q != nil && q.netQuiescent(f.Net, sim.VX, inj.Cycle, inj.Duration) {
+			return staticSilent(inj, false), true
+		}
+	}
+	return ExpResult{}, false
+}
+
+// planKey identifies a campaign-exact equivalence bucket: two rows with
+// the same key produce byte-identical outcome fields (the header —
+// Class, Mode, the fault's own description — stays per-row).
+type planKey struct {
+	zone, cycle, dur int
+	tag              uint8
+	a, b             int32
+}
+
+const (
+	keySAAtom  uint8 = iota // a = canonical stuck-at atom
+	keyFlip                 // a = FF
+	keyDelay                // a = net (X is not a controlling value; no atom rules)
+	keyPinSA                // a = gate, b = pin<<1|v (non-collapsible pin fault)
+	keyBridgeA              // a,b = sorted nets, wired-AND
+	keyBridgeO              // a,b = sorted nets, wired-OR
+)
+
+func collapseKey(sf *statfault.Analysis, inj Injection) (planKey, bool) {
+	k := planKey{zone: inj.Zone, cycle: inj.Cycle, dur: inj.Duration}
+	f := inj.Fault
+	switch f.Kind {
+	case faults.SA0, faults.SA1:
+		v := f.Kind == faults.SA1
+		if f.Site == faults.SitePin {
+			if at, ok := sf.PinAtom(f.Gate, f.Pin, v); ok {
+				k.tag, k.a = keySAAtom, int32(at)
+			} else {
+				vb := int32(0)
+				if v {
+					vb = 1
+				}
+				k.tag, k.a, k.b = keyPinSA, int32(f.Gate), int32(f.Pin)<<1|vb
+			}
+		} else {
+			k.tag, k.a = keySAAtom, int32(sf.Canon(f.Net, v))
+		}
+	case faults.Flip:
+		k.tag, k.a = keyFlip, int32(f.FF)
+	case faults.DelayX:
+		k.tag, k.a = keyDelay, int32(f.Net)
+	case faults.BridgeAND, faults.BridgeOR:
+		a, b := f.Net, f.Net2
+		if b < a {
+			a, b = b, a
+		}
+		k.tag, k.a, k.b = keyBridgeA, int32(a), int32(b)
+		if f.Kind == faults.BridgeOR {
+			k.tag = keyBridgeO
+		}
+	default:
+		return planKey{}, false
+	}
+	return k, true
+}
+
+// quiescence holds the golden value streams of the plan's fault sites
+// at the two instants a force can matter: settled before the clock edge
+// (what flip-flops latch and peripherals sample) and settled after it
+// (what the monitors read). Recorded by one extra golden-replica
+// simulation that follows runOne's cycle protocol exactly.
+type quiescence struct {
+	cycles int
+	pre    map[netlist.NetID][]sim.Value
+	post   map[netlist.NetID][]sim.Value
+	ffPost map[netlist.FFID][]sim.Value
+}
+
+// traceQuiescence replays the golden workload once, sampling the
+// candidate fault-site nets of the plan. Returns nil (quiescence rules
+// off) when the replica cannot run.
+func (t *Target) traceQuiescence(g *Golden, plan []Injection) *quiescence {
+	n := t.Analysis.N
+	netSet := map[netlist.NetID]bool{}
+	ffSet := map[netlist.FFID]bool{}
+	for i := range plan {
+		f := plan[i].Fault
+		switch f.Kind {
+		case faults.SA0, faults.SA1:
+			if f.Site == faults.SitePin {
+				if f.Gate >= 0 && int(f.Gate) < len(n.Gates) {
+					gg := &n.Gates[f.Gate]
+					if f.Pin >= 0 && f.Pin < len(gg.Inputs) {
+						netSet[gg.Inputs[f.Pin]] = true
+					}
+				}
+			} else if f.Net >= 0 && int(f.Net) < len(n.Nets) {
+				netSet[f.Net] = true
+			}
+		case faults.DelayX:
+			if f.Net >= 0 && int(f.Net) < len(n.Nets) {
+				netSet[f.Net] = true
+			}
+		case faults.Flip:
+			if f.FF >= 0 && int(f.FF) < len(n.FFs) {
+				ffSet[f.FF] = true
+			}
+		}
+	}
+	q := &quiescence{
+		cycles: g.Trace.Cycles(),
+		pre:    map[netlist.NetID][]sim.Value{},
+		post:   map[netlist.NetID][]sim.Value{},
+		ffPost: map[netlist.FFID][]sim.Value{},
+	}
+	if len(netSet) == 0 && len(ffSet) == 0 {
+		return q
+	}
+	nets := make([]netlist.NetID, 0, len(netSet))
+	for id := range netSet { //det:order sorted below
+		nets = append(nets, id)
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i] < nets[j] })
+	ffs := make([]netlist.FFID, 0, len(ffSet))
+	for id := range ffSet { //det:order sorted below
+		ffs = append(ffs, id)
+	}
+	sort.Slice(ffs, func(i, j int) bool { return ffs[i] < ffs[j] })
+
+	s, err := t.NewInstance()
+	if err != nil {
+		return nil
+	}
+	tr := g.Trace
+	for _, id := range nets {
+		q.pre[id] = make([]sim.Value, tr.Cycles())
+		q.post[id] = make([]sim.Value, tr.Cycles())
+	}
+	for _, id := range ffs {
+		q.ffPost[id] = make([]sim.Value, tr.Cycles())
+	}
+	for c := 0; c < tr.Cycles(); c++ {
+		tr.ApplyTo(s, c)
+		s.Eval()
+		for _, id := range nets {
+			q.pre[id][c] = s.Net(id)
+		}
+		s.Step()
+		for _, id := range nets {
+			q.post[id][c] = s.Net(id)
+		}
+		for _, id := range ffs {
+			q.ffPost[id][c] = s.FFState(id)
+		}
+	}
+	t.Telemetry.AddSimCycles(int64(tr.Cycles()))
+	return q
+}
+
+// netQuiescent reports whether forcing the net to v over the injection
+// window provably changes nothing: the golden net already holds v at
+// every settled instant the force is visible. The force applies after
+// the edge of cycle c and releases after the edge of cycle c+d (never,
+// for d == 0): the monitors read post-edge values for cycles [c,
+// removeAt), and flip-flops/peripherals sample pre-edge values for
+// cycles (c, removeAt].
+func (q *quiescence) netQuiescent(net netlist.NetID, v sim.Value, c, d int) bool {
+	pre, post := q.pre[net], q.post[net]
+	if pre == nil {
+		return false
+	}
+	removeAt := q.cycles
+	if d > 0 {
+		removeAt = c + d
+	}
+	for k := c; k < q.cycles && k < removeAt; k++ {
+		if post[k] != v {
+			return false
+		}
+	}
+	for k := c + 1; k < q.cycles && k <= removeAt; k++ {
+		if pre[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ffX reports whether the flip-flop state a flip would invert is X at
+// the injection instant — the Kleene complement of X is X, so the flip
+// is a no-op.
+func (q *quiescence) ffX(ff netlist.FFID, c int) bool {
+	st := q.ffPost[ff]
+	return st != nil && c >= 0 && c < len(st) && st[c] == sim.VX
+}

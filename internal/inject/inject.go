@@ -59,6 +59,17 @@ type Target struct {
 	// when the nondeterministic wall-clock watchdog is armed) fall back
 	// to the serial per-experiment path automatically.
 	Lanes int
+	// Collapse enables the static fault-analysis pre-pass
+	// (internal/statfault) before simulation: rows whose verdict is
+	// statically provable (unobservable cones, untestable constants,
+	// golden-quiescent forces) are classified without simulating, and
+	// campaign-exact equivalent rows are simulated once with the
+	// outcome copied onto every class member during the in-order
+	// merge. Like Workers and Lanes this is a pure throughput knob:
+	// the report stays byte-identical to the uncollapsed run (see the
+	// collapse neutrality matrix test). Automatically disabled while a
+	// wall-clock watchdog is armed.
+	Collapse bool
 	// SnapshotEvery is the golden-state snapshot cadence in cycles
 	// (0 = no snapshots, every faulty run starts cold at cycle 0).
 	// When set, RunGolden captures the simulator state every

@@ -43,12 +43,18 @@ func batchable(inj Injection) bool {
 // (injection cycle, plan index) — so the lanes of one batch want the
 // same golden snapshot — and chunked into units of up to lanes members.
 // Units are ordered by their lowest plan index, approximating the
-// ascending claim order of the per-experiment cursor.
-func buildUnits(st *campaignState, plan []Injection, lanes int) [][]int {
+// ascending claim order of the per-experiment cursor. Rows the static
+// pre-pass collapsed onto a representative (pc non-nil) are excluded:
+// they inherit their result after the drain instead of occupying a
+// lane.
+func buildUnits(st *campaignState, plan []Injection, lanes int, pc *planCollapse) [][]int {
 	var units [][]int
 	var batch []int
 	for i := range plan {
 		if st.slots[i].done {
+			continue
+		}
+		if pc != nil && pc.dep[i] >= 0 {
 			continue
 		}
 		if batchable(plan[i]) {

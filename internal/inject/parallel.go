@@ -151,6 +151,28 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		}
 	}
 
+	// Static pre-pass (opt-in): statically classified rows are marked
+	// done up front with their exact serial result; rows collapsed onto
+	// a representative are skipped by the claim loops and inherit the
+	// representative's outcome after the workers drain, just before the
+	// in-order merge. A wall-clock watchdog makes verdicts depend on
+	// host timing, so it disables the pre-pass the same way it disables
+	// lanes.
+	var pc *planCollapse
+	if t.Collapse && len(plan) > 0 && !(sup.WallBudget > 0 && sup.Clock != nil) {
+		pc = t.collapsePlan(g, plan)
+	}
+	if pc != nil {
+		applied := 0
+		for i := range plan {
+			if pc.static[i] && !st.slots[i].done {
+				st.slots[i] = expSlot{done: true, res: pc.res[i]}
+				applied++
+			}
+		}
+		tel.CollapsePlan(applied, pc.nDup)
+	}
+
 	// The word-parallel path: with Lanes > 1 the batchable pending
 	// experiments are grouped into lockstep lane batches on a compiled
 	// machine (see lanes.go). Wall-clock watchdogs are inherently
@@ -166,7 +188,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		if prog, err = simc.Compile(t.Analysis.N); err != nil {
 			return nil, err
 		}
-		units = buildUnits(st, plan, lanes)
+		units = buildUnits(st, plan, lanes, pc)
 	}
 
 	var (
@@ -228,7 +250,10 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 			if i >= len(plan) || stopped.Load() {
 				return
 			}
-			if st.slots[i].done { // preloaded from the checkpoint
+			if st.slots[i].done { // preloaded or statically classified
+				continue
+			}
+			if pc != nil && pc.dep[i] >= 0 { // inherits after the drain
 				continue
 			}
 			runSingle(i, tel.ExpStart(i))
@@ -303,6 +328,45 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	}
 	if sup.StopAfter > 0 && st.completed >= sup.StopAfter {
 		return nil, ErrCampaignStopped
+	}
+	// Expansion: collapsed rows inherit their representative's outcome
+	// fields under their own injection header — in plan order, before
+	// the final checkpoint and the merge. A row whose representative
+	// carries no result (quarantined) is simulated itself, exactly as
+	// the uncollapsed campaign would have done.
+	if pc != nil {
+		for i := range plan {
+			if stopped.Load() {
+				break
+			}
+			r := pc.dep[i]
+			if r < 0 || st.slots[i].done {
+				continue
+			}
+			rs := st.slots[r]
+			if rs.done && !rs.quar {
+				res := rs.res
+				res.Injection = plan[i]
+				if rs.res.Deviated != nil {
+					res.Deviated = append([]int(nil), rs.res.Deviated...)
+				}
+				st.slots[i] = expSlot{done: true, res: res}
+				tel.OutcomeInherited()
+			} else {
+				runSingle(i, tel.ExpStart(i))
+			}
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if ckptErr != nil {
+			return nil, ckptErr
+		}
+		if sup.StopAfter > 0 && st.completed >= sup.StopAfter {
+			return nil, ErrCampaignStopped
+		}
 	}
 	if sup.Checkpoint != "" && st.sinceCkpt > 0 {
 		if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil {

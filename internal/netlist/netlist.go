@@ -439,6 +439,32 @@ func (n *Netlist) FanoutCounts() []int {
 	return fan
 }
 
+// GateReaders returns, per net, the IDs of gates that read the net as
+// an input (the forward adjacency of the combinational graph). A gate
+// reading the same net on several pins appears once per pin.
+func (n *Netlist) GateReaders() [][]GateID {
+	readers := make([][]GateID, len(n.Nets))
+	for i := range n.Gates {
+		for _, in := range n.Gates[i].Inputs {
+			readers[in] = append(readers[in], n.Gates[i].ID)
+		}
+	}
+	return readers
+}
+
+// FFReaders returns, per net, the IDs of flip-flops that sample the net
+// on their D or Enable pin (the forward adjacency across clock edges).
+func (n *Netlist) FFReaders() [][]FFID {
+	readers := make([][]FFID, len(n.Nets))
+	for i := range n.FFs {
+		readers[n.FFs[i].D] = append(readers[n.FFs[i].D], n.FFs[i].ID)
+		if en := n.FFs[i].Enable; en != InvalidNet {
+			readers[en] = append(readers[en], n.FFs[i].ID)
+		}
+	}
+	return readers
+}
+
 // Levelize returns gate IDs in topological (evaluation) order. It fails
 // if the combinational logic contains a cycle. The order is memoized
 // until the next structural mutation; callers must treat the returned

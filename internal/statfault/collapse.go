@@ -1,0 +1,236 @@
+package statfault
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// Atom identifies one stuck-at fault atom: 2*net + polarity (polarity 1
+// is stuck-at-1). Atoms are the nodes of the collapse union-find; the
+// class representative is always the smallest atom in the class.
+type Atom int32
+
+// AtomOf builds the atom for a net stuck-at fault.
+func AtomOf(net netlist.NetID, v bool) Atom {
+	p := Atom(0)
+	if v {
+		p = 1
+	}
+	return Atom(2*int32(net)) + p
+}
+
+// Net returns the atom's fault site and polarity.
+func (at Atom) Net() (netlist.NetID, bool) {
+	return netlist.NetID(at / 2), at%2 == 1
+}
+
+// collapse builds the campaign-exact equivalence classes. A gate input
+// stem may be merged with the gate output only when the merge is
+// trajectory-exact: forcing the stem and forcing the output produce the
+// same settled value on every net except the stem itself, and nothing
+// can see the stem (single reader, no monitor, no peripheral, no port).
+// Under that side condition the classic controlling-value rules apply:
+//
+//	BUF  in-SA-v ≡ out-SA-v        NOT  in-SA-v ≡ out-SA-!v
+//	AND  in-SA-0 ≡ out-SA-0        NAND in-SA-0 ≡ out-SA-1
+//	OR   in-SA-1 ≡ out-SA-1        NOR  in-SA-1 ≡ out-SA-0
+//
+// (A controlling value pins the output in Kleene logic even when
+// sibling inputs are X, so the rules hold cycle-exactly, not just for
+// binary vectors.)
+func (a *Analysis) collapse(order []netlist.GateID) {
+	n := a.n
+	a.parent = make([]int32, 2*len(n.Nets))
+	for i := range a.parent {
+		a.parent[i] = int32(i)
+	}
+	for _, gid := range order {
+		g := &n.Gates[gid]
+		o := g.Output
+		for _, in := range g.Inputs {
+			if !a.stemInvisible(in) {
+				continue
+			}
+			switch g.Type {
+			case netlist.BUF:
+				a.union(AtomOf(in, false), AtomOf(o, false))
+				a.union(AtomOf(in, true), AtomOf(o, true))
+			case netlist.NOT:
+				a.union(AtomOf(in, false), AtomOf(o, true))
+				a.union(AtomOf(in, true), AtomOf(o, false))
+			case netlist.AND:
+				a.union(AtomOf(in, false), AtomOf(o, false))
+			case netlist.NAND:
+				a.union(AtomOf(in, false), AtomOf(o, true))
+			case netlist.OR:
+				a.union(AtomOf(in, true), AtomOf(o, true))
+			case netlist.NOR:
+				a.union(AtomOf(in, true), AtomOf(o, false))
+			}
+		}
+	}
+}
+
+// stemInvisible reports whether a net's own value is provably invisible
+// once its single consumer is accounted for: exactly one fanout (the
+// consuming gate) and no monitor, port or peripheral reads it.
+func (a *Analysis) stemInvisible(in netlist.NetID) bool {
+	if in < 0 || int(in) >= len(a.fan) {
+		return false
+	}
+	return a.fan[in] == 1 && !a.monitored[in]
+}
+
+func (a *Analysis) find(at Atom) Atom {
+	x := int32(at)
+	for a.parent[x] != x {
+		a.parent[x] = a.parent[a.parent[x]]
+		x = a.parent[x]
+	}
+	return Atom(x)
+}
+
+// union merges two classes; the smaller atom index becomes (stays) the
+// root, which keeps representatives deterministic.
+func (a *Analysis) union(x, y Atom) {
+	rx, ry := a.find(x), a.find(y)
+	if rx == ry {
+		return
+	}
+	if rx > ry {
+		rx, ry = ry, rx
+	}
+	a.parent[ry] = int32(rx)
+}
+
+// Canon returns the canonical representative of a net stuck-at atom.
+// Two stuck-at faults with the same canonical atom are campaign-exact
+// equivalents: their simulations agree on every monitored net in every
+// cycle.
+func (a *Analysis) Canon(net netlist.NetID, v bool) Atom {
+	if net < 0 || int(net) >= len(a.n.Nets) {
+		return AtomOf(net, v)
+	}
+	return a.find(AtomOf(net, v))
+}
+
+// PinAtom maps a pin stuck-at fault onto a net atom when the pin fault
+// is trajectory-exact equivalent to a net fault. Unlike the stem rules
+// this needs no side condition: forcing a controlling value on one pin
+// changes nothing but the gate output (the input net itself keeps its
+// fault-free value), which is exactly what forcing the output does.
+// Returns ok=false when the pin value is non-controlling (AND pin
+// SA-1 and friends are not expressible as a single net force) or the
+// pin is out of range.
+func (a *Analysis) PinAtom(gid netlist.GateID, pin int, v bool) (Atom, bool) {
+	if gid < 0 || int(gid) >= len(a.n.Gates) {
+		return 0, false
+	}
+	g := &a.n.Gates[gid]
+	if pin < 0 || pin >= len(g.Inputs) {
+		return 0, false
+	}
+	o := g.Output
+	switch g.Type {
+	case netlist.BUF:
+		return a.Canon(o, v), true
+	case netlist.NOT:
+		return a.Canon(o, !v), true
+	case netlist.AND:
+		if !v {
+			return a.Canon(o, false), true
+		}
+	case netlist.NAND:
+		if !v {
+			return a.Canon(o, true), true
+		}
+	case netlist.OR:
+		if v {
+			return a.Canon(o, true), true
+		}
+	case netlist.NOR:
+		if v {
+			return a.Canon(o, false), true
+		}
+	}
+	return 0, false
+}
+
+// Class is one non-singleton equivalence class: the representative atom
+// and every member, both sorted ascending (the representative is
+// Members[0]).
+type Class struct {
+	Rep     Atom
+	Members []Atom
+}
+
+// Classes enumerates the non-singleton equivalence classes in
+// deterministic order (ascending representative).
+func (a *Analysis) Classes() []Class {
+	byRep := map[Atom][]Atom{}
+	for i := range a.parent {
+		at := Atom(i)
+		if r := a.find(at); r != at {
+			byRep[r] = append(byRep[r], at)
+		}
+	}
+	var out []Class
+	for r, members := range byRep { //det:order sorted below
+		// The root is the smallest atom and members were collected in
+		// ascending atom order, so prepending keeps the list sorted.
+		out = append(out, Class{Rep: r, Members: append([]Atom{r}, members...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rep < out[j].Rep }) //det:order one class per representative atom
+	return out
+}
+
+// DomEdge is one classic dominance edge at net granularity: every test
+// that detects Dominated also detects Dominator, so grading Dominated
+// bounds Dominator from below. Dominance does not preserve full result
+// rows — the campaign never prunes with it — but the audit report
+// lists the edges so an assessor can check the conservative direction.
+type DomEdge struct {
+	Dominated Atom
+	Dominator Atom
+}
+
+// Dominance enumerates the net-level dominance edges (gate output over
+// each single-fanout input, for the non-controlling polarity):
+//
+//	AND  out-SA-1 dom in-SA-1      NAND out-SA-0 dom in-SA-1
+//	OR   out-SA-0 dom in-SA-0      NOR  out-SA-1 dom in-SA-0
+//
+// Edges are reported only where the input is a true stem (fanout 1) so
+// the pin fault and the net fault coincide. Deterministic order:
+// ascending (Dominated, Dominator).
+func (a *Analysis) Dominance() []DomEdge {
+	n := a.n
+	var out []DomEdge
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		o := g.Output
+		for _, in := range g.Inputs {
+			if in < 0 || int(in) >= len(a.fan) || a.fan[in] != 1 {
+				continue
+			}
+			switch g.Type {
+			case netlist.AND:
+				out = append(out, DomEdge{AtomOf(in, true), AtomOf(o, true)})
+			case netlist.NAND:
+				out = append(out, DomEdge{AtomOf(in, true), AtomOf(o, false)})
+			case netlist.OR:
+				out = append(out, DomEdge{AtomOf(in, false), AtomOf(o, false)})
+			case netlist.NOR:
+				out = append(out, DomEdge{AtomOf(in, false), AtomOf(o, true)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dominated != out[j].Dominated {
+			return out[i].Dominated < out[j].Dominated
+		}
+		return out[i].Dominator < out[j].Dominator
+	})
+	return out
+}

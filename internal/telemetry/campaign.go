@@ -49,6 +49,9 @@ type Campaign struct {
 	batches     *Counter
 	lanesActive *Gauge
 	laneOccH    *Histogram
+	collapsed   *Counter
+	staticPrune *Counter
+	inherited   *Counter
 
 	mu       sync.Mutex
 	outcomes map[string]*Counter
@@ -83,6 +86,9 @@ func NewCampaign(journal *Journal, clock func() time.Time) *Campaign {
 		batches:     r.Counter("batches"),
 		lanesActive: r.Gauge("lanes_active"),
 		laneOccH:    r.Histogram("lane_occupancy", 1, 2, 4, 8, 16, 32, 64),
+		collapsed:   r.Counter("faults_collapsed"),
+		staticPrune: r.Counter("faults_static_pruned"),
+		inherited:   r.Counter("outcomes_inherited"),
 		outcomes:    map[string]*Counter{},
 	}
 }
@@ -254,6 +260,44 @@ func (c *Campaign) AddFaultsSimulated(n int64) {
 	}
 	c.simPasses.Inc()
 	c.faultsDone.Add(n)
+}
+
+// CollapsePlan records the outcome of the static pre-pass over one
+// plan: pruned rows were classified without simulation (unobservable,
+// untestable or golden-quiescent), collapsed rows will inherit a
+// representative's result during the merge. Metrics only — the journal
+// schema is unchanged, and the stdout report never sees these numbers.
+func (c *Campaign) CollapsePlan(pruned, collapsed int) {
+	if c == nil {
+		return
+	}
+	c.staticPrune.Add(int64(pruned))
+	c.collapsed.Add(int64(collapsed))
+	c.expDone.Add(int64(pruned))
+}
+
+// OutcomeInherited records one result row filled by copying a
+// simulated representative's outcome through the expansion table.
+func (c *Campaign) OutcomeInherited() {
+	if c == nil {
+		return
+	}
+	c.inherited.Inc()
+	c.expDone.Inc()
+}
+
+// CollapseFaults records the static pre-pass outcome of one gate-level
+// fault-simulation campaign: pruned faults were proven undetectable
+// without simulation, collapsed faults inherited a representative's
+// verdict. Unlike CollapsePlan this does not touch experiment
+// progress — fault-simulation throughput is AddFaultsSimulated's.
+func (c *Campaign) CollapseFaults(pruned, collapsed int) {
+	if c == nil {
+		return
+	}
+	c.staticPrune.Add(int64(pruned))
+	c.collapsed.Add(int64(collapsed))
+	c.inherited.Add(int64(collapsed))
 }
 
 // Summary emits the end-of-campaign journal event from the live

@@ -17,6 +17,13 @@
 //     order per run; ranging over a map in report code reorders output.
 //     Suppress a deliberate order-insensitive loop (pure accumulation)
 //     with a trailing "//det:order" comment on the range line.
+//   - det-sortslice: a sort.Slice or sort.SliceStable whose comparator
+//     is a bare single-field less (`return a[i].F < a[j].F`). When the
+//     slice was collected from a map, rows with equal keys keep their
+//     input order — sort.Slice is unstable and even SliceStable merely
+//     preserves the map-iteration permutation — so the output reorders
+//     run to run. Add a tie-break branch, or mark a provably unique
+//     key with a trailing "//det:order" comment on the call line.
 //
 // Escape hatch: a trailing "//det:allow <reason>" comment suppresses
 // det-timenow and det-globalrand on that line. The reason is mandatory —
@@ -130,6 +137,11 @@ func (p *Pass) checkFile(f *ast.File) {
 				return true
 			}
 			p.checkRange(n)
+		case *ast.CallExpr:
+			if suppressed[p.Fset.Position(n.Pos()).Line] {
+				return true
+			}
+			p.checkSortSlice(n, imports)
 		}
 		return true
 	})
@@ -170,6 +182,58 @@ func (p *Pass) checkSelector(sel *ast.SelectorExpr, imports map[string]string) {
 				fmt.Sprintf("global rand.%s uses the process-wide generator; use a seeded rand.New or internal/xrand", sel.Sel.Name))
 		}
 	}
+}
+
+// checkSortSlice flags sort.Slice / sort.SliceStable calls whose
+// comparator compares exactly one field and nothing else. Equal keys
+// then fall back to the input permutation, which for map-collected
+// slices is a fresh shuffle every run. Comparators with a tie-break
+// branch, scalar element compares (xs[i] < xs[j]) and computed keys
+// (f(i) < f(j)) are not flagged; a provably unique key is exempted
+// with a trailing //det:order on the call line.
+func (p *Pass) checkSortSlice(call *ast.CallExpr, imports map[string]string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Slice" && sel.Sel.Name != "SliceStable") {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgPath := ""
+	if p.Info != nil {
+		if obj, ok := p.Info.Uses[sel.Sel]; ok && obj.Pkg() != nil {
+			if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+				pkgPath = obj.Pkg().Path()
+			}
+		}
+	}
+	if pkgPath == "" {
+		pkgPath = imports[id.Name]
+	}
+	if pkgPath != "sort" || len(call.Args) != 2 {
+		return
+	}
+	fn, ok := call.Args[1].(*ast.FuncLit)
+	if !ok || len(fn.Body.List) != 1 {
+		return
+	}
+	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	cmp, ok := ret.Results[0].(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+		return
+	}
+	if _, ok := cmp.X.(*ast.SelectorExpr); !ok {
+		return
+	}
+	if _, ok := cmp.Y.(*ast.SelectorExpr); !ok {
+		return
+	}
+	p.report(call.Pos(), "det-sortslice",
+		fmt.Sprintf("sort.%s on a single field: equal keys keep their (map-iteration-dependent) input order; add a tie-break or mark a unique key with //det:order", sel.Sel.Name))
 }
 
 // checkRange flags for-range over map types.

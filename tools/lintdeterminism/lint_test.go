@@ -14,11 +14,13 @@ func TestDirtyFixture(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		"11:det-timenow",
-		"15:det-globalrand",
-		"25:det-maprange",
-		"48:det-timenow",    // bare //det:allow (no reason) suppresses nothing
-		"52:det-globalrand", // likewise for the global generator
+		"12:det-timenow",
+		"16:det-globalrand",
+		"26:det-maprange",
+		"49:det-timenow",    // bare //det:allow (no reason) suppresses nothing
+		"53:det-globalrand", // likewise for the global generator
+		"59:det-sortslice",  // single-field sort.Slice without tie-break
+		"63:det-sortslice",  // sort.SliceStable is no safer when fed from a map
 	}
 	var got []string
 	for _, d := range diags {
@@ -51,7 +53,7 @@ func TestCleanFixture(t *testing.T) {
 // //det:allow, so the package must otherwise lint clean. The repo root
 // is two levels up from this package directory.
 func TestRepoPackages(t *testing.T) {
-	for _, pkg := range []string{"fmea", "inject", "report", "drc", "telemetry"} {
+	for _, pkg := range []string{"fmea", "inject", "report", "drc", "telemetry", "statfault"} {
 		dir := filepath.Join("..", "..", "internal", pkg)
 		diags, err := lintDir(dir, false)
 		if err != nil {

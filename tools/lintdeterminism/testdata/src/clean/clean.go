@@ -35,3 +35,34 @@ func SortedKeys(m map[string]int) []string {
 	sort.Strings(keys)
 	return keys
 }
+
+type row struct{ Key, Sub int }
+
+// TieBroken is deterministic regardless of input permutation: the
+// comparator decides every pair, equal-Key or not.
+func TieBroken(rows []row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Key != rows[j].Key {
+			return rows[i].Key < rows[j].Key
+		}
+		return rows[i].Sub < rows[j].Sub
+	})
+}
+
+// UniqueKey sorts on a key the caller guarantees unique, exempted with
+// the audited directive.
+func UniqueKey(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key }) //det:order Key is unique per row
+}
+
+// Elements sorts scalars: equal elements are interchangeable, so the
+// input order cannot show in the output.
+func Elements(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// ComputedKey compares through a call; the analyzer only flags bare
+// single-field selectors.
+func ComputedKey(rows []row, weight func(row) int) {
+	sort.Slice(rows, func(i, j int) bool { return weight(rows[i]) < weight(rows[j]) })
+}

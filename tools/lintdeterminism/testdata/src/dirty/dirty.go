@@ -4,6 +4,7 @@ package dirty
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 )
 
@@ -50,4 +51,14 @@ func BareAllow() time.Time {
 
 func BareAllowRand() int {
 	return rand.Int() //det:allow
+}
+
+type row struct{ Key, Sub int }
+
+func OrderRows(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key }) // want det-sortslice
+}
+
+func OrderRowsDesc(rows []row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Key > rows[j].Key }) // want det-sortslice
 }
