@@ -34,19 +34,29 @@
 // and -status serves expvar + net/http/pprof + a /progress JSON
 // endpoint for live campaigns (binds 127.0.0.1 for a bare ":port").
 //
-// Exit codes: 0 success; 1 fatal error; 2 flag/usage error;
-// 3 experiments quarantined (campaign degraded); 4 campaign coverage
-// incomplete (Coverage.Complete() false — the CI gate).
+// "injector worker" joins a distributed campaign instead of running
+// one: it builds the same campaign locally from the same spec flags,
+// connects to a cmd/campaignd coordinator (-connect host:port, or
+// -stdio as a subprocess) and runs leased plan ranges through the
+// supervised engine until the coordinator says the campaign is done.
+//
+// Exit codes are the CI contract, documented in --help: 0 success;
+// 1 fatal error; 2 flag/usage error; 3 experiments quarantined
+// (campaign degraded); 4 campaign coverage incomplete.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/fit"
 	"repro/internal/inject"
 	"repro/internal/memsys"
@@ -55,74 +65,100 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run executes the campaign and returns the process exit code; keeping
-// os.Exit out of the work path lets the telemetry teardown (journal
-// flush, final progress line, status-server close) run on every exit.
-func run() int {
-	log.SetFlags(0)
-	log.SetPrefix("injector: ")
-	design := flag.String("design", "v2", "implementation: v1 or v2")
-	addrWidth := flag.Int("addr", 6, "address width")
-	words := flag.Int("words", 8, "March slice size of the workload")
-	transient := flag.Int("transient", 6, "transient experiments per zone")
-	permanent := flag.Int("permanent", 3, "permanent experiments per zone")
-	wide := flag.Int("wide", 12, "wide/global fault experiments")
-	seed := flag.Uint64("seed", 1, "campaign seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
-	warmstart := flag.Int("warmstart", 0, "golden snapshot cadence in cycles for warm-started experiments (0 = cold start; results are identical)")
-	lanes := flag.Int("lanes", 1, "bit-parallel simulation lanes per worker, 1..64 (compiled kernel; results are identical)")
-	collapse := flag.Bool("collapse", false, "static fault-analysis pre-pass: prune statically-provable experiments and simulate one representative per equivalence class (results are identical)")
-	tol := flag.Float64("tol", 0.35, "estimate-vs-measured tolerance")
-	vcd := flag.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
-	checkpoint := flag.String("checkpoint", "", "campaign checkpoint file (enables periodic checkpointing)")
-	checkpointEvery := flag.Int("checkpoint-every", 16, "completed experiments between checkpoint writes")
-	resume := flag.Bool("resume", false, "resume from -checkpoint; the merged report is byte-identical to an uninterrupted run")
-	cycleBudget := flag.Int("exp-cycle-budget", 0, "max simulated cycles per experiment (0 = unlimited; exceeding aborts the experiment)")
-	expTimeout := flag.Duration("exp-timeout", 0, "max wall-clock per experiment (0 = unlimited; nondeterministic last-resort hang guard)")
-	retries := flag.Int("retries", 0, "retry a failing experiment up to N more times before quarantining it")
-	requireCoverage := flag.Bool("require-coverage", true, "exit 4 when campaign coverage is incomplete")
-	journalPath := flag.String("journal", "", "write the JSONL campaign journal (lifecycle events) to this file")
-	progressEvery := flag.Duration("progress", 0, "print periodic campaign progress to stderr at this interval (0 = off)")
-	statusAddr := flag.String("status", "", "serve expvar + pprof + /progress on this address (a bare \":port\" binds 127.0.0.1)")
-	flag.Parse()
+// run dispatches between the standalone campaign and the distributed
+// worker mode and returns the process exit code; keeping os.Exit out
+// of the work path lets the telemetry teardown (journal flush, final
+// progress line, status-server close) run on every exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "worker" {
+		return runWorker(args[1:], stderr)
+	}
+	return runCampaign(args, stdout, stderr)
+}
 
-	usageErr := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "injector: "+format+"\n", args...)
-		flag.Usage()
-		os.Exit(2)
+// exitCodesHelp is the shared --help exit-code contract.
+func exitCodesHelp(w io.Writer) {
+	fmt.Fprintln(w, "\nExit codes:")
+	fmt.Fprintln(w, "  0  success")
+	fmt.Fprintln(w, "  1  fatal error (build, golden run, campaign or I/O failure)")
+	fmt.Fprintln(w, "  2  flag/usage error")
+	fmt.Fprintln(w, "  3  experiment(s) quarantined (campaign degraded)")
+	fmt.Fprintln(w, "  4  campaign coverage incomplete (with -require-coverage)")
+}
+
+func runCampaign(args []string, stdout, stderr io.Writer) int {
+	lg := log.New(stderr, "injector: ", 0)
+	fs := flag.NewFlagSet("injector", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: injector [flags]")
+		fmt.Fprintln(stderr, "       injector worker [flags]   (join a cmd/campaignd distributed campaign; see injector worker -h)")
+		fmt.Fprintln(stderr, "\nFault-injection validation campaign: golden run, per-zone measured S/DDF,")
+		fmt.Fprintln(stderr, "coverage and the cross-check against the FMEA worksheet.")
+		exitCodesHelp(stderr)
+		fmt.Fprintln(stderr, "\nFlags:")
+		fs.PrintDefaults()
 	}
-	if *workers < 0 {
-		usageErr("-workers must be >= 0 (0 = serial), got %d", *workers)
+	design := fs.String("design", "v2", "implementation: v1 or v2")
+	addrWidth := fs.Int("addr", 6, "address width")
+	words := fs.Int("words", 8, "March slice size of the workload")
+	transient := fs.Int("transient", 6, "transient experiments per zone")
+	permanent := fs.Int("permanent", 3, "permanent experiments per zone")
+	wide := fs.Int("wide", 12, "wide/global fault experiments")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel campaign workers (1 = serial; results are identical)")
+	warmstart := fs.Int("warmstart", 0, "golden snapshot cadence in cycles for warm-started experiments (0 = cold start; results are identical)")
+	lanes := fs.Int("lanes", 1, "bit-parallel simulation lanes per worker, 1..64 (compiled kernel; results are identical)")
+	collapse := fs.Bool("collapse", false, "static fault-analysis pre-pass: prune statically-provable experiments and simulate one representative per equivalence class (results are identical)")
+	tol := fs.Float64("tol", 0.35, "estimate-vs-measured tolerance")
+	vcd := fs.String("vcd", "", "record golden + first-undetected-fault waveforms to <prefix>_{golden,faulty}.vcd")
+	out := fs.String("out", "", "also write the canonical campaign report (the distributed byte-identity surface) to this file")
+	checkpoint := fs.String("checkpoint", "", "campaign checkpoint file (enables periodic checkpointing)")
+	checkpointEvery := fs.Int("checkpoint-every", 16, "completed experiments between checkpoint writes")
+	resume := fs.Bool("resume", false, "resume from -checkpoint; the merged report is byte-identical to an uninterrupted run")
+	cycleBudget := fs.Int("exp-cycle-budget", 0, "max simulated cycles per experiment (0 = unlimited; exceeding aborts the experiment)")
+	expTimeout := fs.Duration("exp-timeout", 0, "max wall-clock per experiment (0 = unlimited; nondeterministic last-resort hang guard)")
+	retries := fs.Int("retries", 0, "retry a failing experiment up to N more times before quarantining it")
+	requireCoverage := fs.Bool("require-coverage", true, "exit 4 when campaign coverage is incomplete")
+	journalPath := fs.String("journal", "", "write the JSONL campaign journal (lifecycle events) to this file")
+	progressEvery := fs.Duration("progress", 0, "print periodic campaign progress to stderr at this interval (0 = off)")
+	statusAddr := fs.String("status", "", "serve expvar + pprof + /progress on this address (a bare \":port\" binds 127.0.0.1)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0 // asking for the manual is not a usage error
+		}
+		return 2
 	}
-	if *warmstart < 0 {
-		usageErr("-warmstart must be >= 0 (0 = cold start), got %d", *warmstart)
+
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "injector: "+format+"\n", args...)
+		fs.Usage()
+		return 2
 	}
-	if *lanes < 1 || *lanes > 64 {
-		usageErr("-lanes must be in 1..64, got %d", *lanes)
-	}
-	if *cycleBudget < 0 {
-		usageErr("-exp-cycle-budget must be >= 0, got %d", *cycleBudget)
-	}
-	if *expTimeout < 0 {
-		usageErr("-exp-timeout must be >= 0, got %v", *expTimeout)
-	}
-	if *retries < 0 {
-		usageErr("-retries must be >= 0, got %d", *retries)
-	}
-	if *checkpointEvery < 1 {
-		usageErr("-checkpoint-every must be >= 1, got %d", *checkpointEvery)
-	}
-	if *resume && *checkpoint == "" {
-		usageErr("-resume requires -checkpoint")
-	}
-	if *transient < 0 || *permanent < 0 || *wide < 0 {
-		usageErr("experiment counts must be >= 0")
-	}
-	if *progressEvery < 0 {
-		usageErr("-progress must be >= 0, got %v", *progressEvery)
+	switch {
+	case *workers < 0:
+		return usageErr("-workers must be >= 0 (0 = serial), got %d", *workers)
+	case *warmstart < 0:
+		return usageErr("-warmstart must be >= 0 (0 = cold start), got %d", *warmstart)
+	case *lanes < 1 || *lanes > 64:
+		return usageErr("-lanes must be in 1..64, got %d", *lanes)
+	case *cycleBudget < 0:
+		return usageErr("-exp-cycle-budget must be >= 0, got %d", *cycleBudget)
+	case *expTimeout < 0:
+		return usageErr("-exp-timeout must be >= 0, got %v", *expTimeout)
+	case *retries < 0:
+		return usageErr("-retries must be >= 0, got %d", *retries)
+	case *checkpointEvery < 1:
+		return usageErr("-checkpoint-every must be >= 1, got %d", *checkpointEvery)
+	case *resume && *checkpoint == "":
+		return usageErr("-resume requires -checkpoint")
+	case *transient < 0 || *permanent < 0 || *wide < 0:
+		return usageErr("experiment counts must be >= 0")
+	case *progressEvery < 0:
+		return usageErr("-progress must be >= 0, got %v", *progressEvery)
 	}
 
 	// Telemetry hub: created when any observability flag is on. It is
@@ -136,7 +172,7 @@ func run() int {
 			var err error
 			journal, err = telemetry.OpenJournal(*journalPath, telemetry.SystemClock)
 			if err != nil {
-				log.Print(err)
+				lg.Print(err)
 				return 1
 			}
 		}
@@ -144,24 +180,24 @@ func run() int {
 		if *statusAddr != "" {
 			srv, err := telemetry.ServeStatus(*statusAddr, tel)
 			if err != nil {
-				log.Print(err)
+				lg.Print(err)
 				return 1
 			}
-			log.Printf("status endpoint: http://%s/progress (expvar at /debug/vars, pprof at /debug/pprof/)", srv.Addr)
+			lg.Printf("status endpoint: http://%s/progress (expvar at /debug/vars, pprof at /debug/pprof/)", srv.Addr)
 			defer srv.Close()
 		}
 		if *progressEvery > 0 {
-			rep := telemetry.StartReporter(os.Stderr, tel, *progressEvery)
+			rep := telemetry.StartReporter(stderr, tel, *progressEvery)
 			defer rep.Stop()
 		}
 		defer func() {
 			if err := journal.Close(); err != nil {
-				log.Printf("journal: %v", err)
+				lg.Printf("journal: %v", err)
 			}
 		}()
 	}
 	fatal := func(err error) int {
-		log.Print(err)
+		lg.Print(err)
 		return 1
 	}
 
@@ -172,7 +208,7 @@ func run() int {
 	case "v2":
 		cfg = memsys.V2Config()
 	default:
-		usageErr("unknown design %q", *design)
+		return usageErr("unknown design %q", *design)
 	}
 	cfg.AddrWidth = *addrWidth
 	tel.Phase("build")
@@ -202,7 +238,7 @@ func run() int {
 	}
 	target.Telemetry = tel
 	tr := d.ValidationWorkload(*words, *seed)
-	fmt.Printf("%s: workload %d cycles, %d zones\n", cfg.Name, tr.Cycles(), len(a.Zones))
+	fmt.Fprintf(stdout, "%s: workload %d cycles, %d zones\n", cfg.Name, tr.Cycles(), len(a.Zones))
 
 	tel.Phase("golden-run")
 	g, err := target.RunGolden(tr)
@@ -210,9 +246,9 @@ func run() int {
 		return fatal(err)
 	}
 	if ok, inactive := g.CompletenessOK(); !ok {
-		fmt.Printf("WARNING: workload leaves %d zones untriggered\n", len(inactive))
+		fmt.Fprintf(stdout, "WARNING: workload leaves %d zones untriggered\n", len(inactive))
 	} else {
-		fmt.Println("workload completeness: PASS (every zone triggered)")
+		fmt.Fprintln(stdout, "workload completeness: PASS (every zone triggered)")
 	}
 
 	tel.Phase("plan")
@@ -224,9 +260,9 @@ func run() int {
 		effective = 1
 	}
 	if *resume {
-		log.Printf("resuming from checkpoint %s (plan hash %016x)", *checkpoint, inject.PlanHash(plan))
+		lg.Printf("resuming from checkpoint %s (plan hash %016x)", *checkpoint, inject.PlanHash(plan))
 	}
-	fmt.Printf("running %d injection experiments on %d worker(s)...\n", len(plan), effective)
+	fmt.Fprintf(stdout, "running %d injection experiments on %d worker(s)...\n", len(plan), effective)
 	tel.Phase("campaign")
 	rep, err := target.Run(g, plan)
 	if err != nil {
@@ -234,80 +270,171 @@ func run() int {
 	}
 	tel.Phase("analysis")
 
-	cov := rep.Coverage
-	fmt.Printf("coverage: SENS %s  OBSE %s  DIAG %s  (%d mismatches)\n",
-		report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()), cov.Mismatches)
-
-	t := report.NewTable("\nPer-zone measured outcomes",
-		"zone", "exp", "silent", "det-safe", "dang-det", "dang-undet", "S(meas)", "DDF(meas)")
-	for _, zm := range rep.ZoneMeasures(a) {
-		t.AddRow(zm.Name, zm.Experiments, zm.Silent, zm.DetSafe, zm.DangerDet, zm.DangerUndet,
-			zm.SMeasured(), zm.DDFMeasured())
-	}
-	fmt.Println(t.Render())
-
-	if n := rep.AbortedCount(); n > 0 {
-		fmt.Printf("WATCHDOG: %d experiment(s) aborted on budget (counted dangerous-undetected)\n", n)
-	}
-	if len(rep.Quarantined) > 0 {
-		qt := report.NewTable("\nQuarantined experiments (no verdict; counted dangerous-undetected)",
-			"plan#", "injection", "attempts", "error")
-		for _, q := range rep.Quarantined {
-			qt.AddRow(q.PlanIndex, q.Injection.Describe(a), q.Attempts, q.Err)
-		}
-		fmt.Println(qt.Render())
-	}
-
-	w := d.Worksheet(a, fit.Default())
-	rows := rep.ValidateWorksheet(a, w, *tol)
-	bad := 0
-	for _, r := range rows {
-		if !r.Within {
-			bad++
-			flagNote := ""
-			if r.Degraded > 0 {
-				flagNote = fmt.Sprintf("  [%d experiment(s) without verdict — conservative bound]", r.Degraded)
-			}
-			fmt.Printf("OVER-CLAIM: %-28s estS=%.2f measS=%.2f estDDF=%.2f measDDF=%.2f%s\n",
-				r.Name, r.EstS, r.MeasS, r.EstDDF, r.MeasDDF, flagNote)
-		}
-	}
-	fmt.Printf("worksheet cross-check: %s of %d zones within tolerance (%d over-claims)\n",
-		report.Pct(inject.PassFraction(rows)), len(rows), bad)
-
-	if *vcd != "" {
-		if err := recordVCDs(*vcd, target, g, rep); err != nil {
+	wks := d.Worksheet(a, fit.Default())
+	rep.WriteText(stdout, a, wks, *tol)
+	if *out != "" {
+		var buf bytes.Buffer
+		rep.WriteText(&buf, a, wks, *tol)
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
 			return fatal(err)
 		}
 	}
 
-	inconsistent := 0
-	for _, ec := range rep.CheckEffects(a) {
-		if !ec.Consistent {
-			inconsistent++
-			fmt.Printf("NEW EFFECTS for zone %s: observation points %v not in main/secondary prediction\n",
-				ec.Name, ec.Unpredicted)
+	if *vcd != "" {
+		if err := recordVCDs(stdout, *vcd, target, g, rep); err != nil {
+			return fatal(err)
 		}
-	}
-	if inconsistent == 0 {
-		fmt.Println("effect tables consistent with main/secondary analysis: PASS")
 	}
 
 	if len(rep.Quarantined) > 0 {
-		log.Printf("campaign degraded: %d experiment(s) quarantined", len(rep.Quarantined))
+		lg.Printf("campaign degraded: %d experiment(s) quarantined", len(rep.Quarantined))
 		return 3
 	}
-	if *requireCoverage && !cov.Complete() {
-		log.Printf("campaign coverage incomplete (SENS %s OBSE %s DIAG %s); failing the gate",
+	if *requireCoverage && !rep.Coverage.Complete() {
+		cov := rep.Coverage
+		lg.Printf("campaign coverage incomplete (SENS %s OBSE %s DIAG %s); failing the gate",
 			report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()))
 		return 4
 	}
 	return 0
 }
 
+// runWorker joins a distributed campaign: build the same campaign
+// locally (the coordinator validates the plan fingerprint at hello),
+// then run leased ranges until fin. The protocol runs over TCP
+// (-connect) or this process's stdin/stdout (-stdio); in -stdio mode
+// every human-readable line goes to stderr.
+func runWorker(args []string, stderr io.Writer) int {
+	lg := log.New(stderr, "injector worker: ", 0)
+	fs := flag.NewFlagSet("injector worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: injector worker (-connect host:port | -stdio) [flags]")
+		fmt.Fprintln(stderr, "\nJoin a cmd/campaignd distributed campaign as a worker. The campaign spec")
+		fmt.Fprintln(stderr, "flags (-design, -addr, -words, -transient, -permanent, -wide, -seed) must")
+		fmt.Fprintln(stderr, "match the coordinator's; the plan fingerprint is validated at connect.")
+		fmt.Fprintln(stderr, "\nExit codes:")
+		fmt.Fprintln(stderr, "  0  campaign complete (coordinator sent fin)")
+		fmt.Fprintln(stderr, "  1  fatal error (build failure, connection loss, coordinator rejection)")
+		fmt.Fprintln(stderr, "  2  flag/usage error")
+		fmt.Fprintln(stderr, "\nFlags:")
+		fs.PrintDefaults()
+	}
+	connect := fs.String("connect", "", "coordinator address (host:port)")
+	stdio := fs.Bool("stdio", false, "speak the protocol on stdin/stdout (subprocess worker)")
+	name := fs.String("name", "", "worker name in coordinator logs (default pid<n>)")
+	heartbeat := fs.Duration("heartbeat", 2*time.Second, "lease keep-alive cadence (must be well under the coordinator's -lease-ttl)")
+	design := fs.String("design", "v2", "implementation: v1 or v2")
+	addrWidth := fs.Int("addr", 6, "address width")
+	words := fs.Int("words", 8, "March slice size of the workload")
+	transient := fs.Int("transient", 6, "transient experiments per zone")
+	permanent := fs.Int("permanent", 3, "permanent experiments per zone")
+	wide := fs.Int("wide", 12, "wide/global fault experiments")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers inside one leased range (results are identical)")
+	warmstart := fs.Int("warmstart", 0, "golden snapshot cadence in cycles (0 = cold start; results are identical)")
+	lanes := fs.Int("lanes", 1, "bit-parallel simulation lanes per worker, 1..64 (results are identical)")
+	collapse := fs.Bool("collapse", false, "static fault-analysis pre-pass (results are identical)")
+	cycleBudget := fs.Int("exp-cycle-budget", 0, "max simulated cycles per experiment (0 = unlimited)")
+	expTimeout := fs.Duration("exp-timeout", 0, "max wall-clock per experiment (0 = unlimited)")
+	retries := fs.Int("retries", 0, "retry a failing experiment up to N more times before quarantining it")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "injector worker: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+	switch {
+	case (*connect == "") == !*stdio:
+		return usageErr("exactly one of -connect and -stdio is required")
+	case *workers < 0:
+		return usageErr("-workers must be >= 0, got %d", *workers)
+	case *warmstart < 0:
+		return usageErr("-warmstart must be >= 0, got %d", *warmstart)
+	case *lanes < 1 || *lanes > 64:
+		return usageErr("-lanes must be in 1..64, got %d", *lanes)
+	case *heartbeat <= 0:
+		return usageErr("-heartbeat must be > 0, got %v", *heartbeat)
+	case *cycleBudget < 0 || *expTimeout < 0 || *retries < 0:
+		return usageErr("supervision budgets must be >= 0")
+	case *transient < 0 || *permanent < 0 || *wide < 0:
+		return usageErr("experiment counts must be >= 0")
+	case *design != "v1" && *design != "v2":
+		return usageErr("unknown design %q", *design)
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("pid%d", os.Getpid())
+	}
+
+	c, err := dist.Spec{
+		Design:    *design,
+		AddrWidth: *addrWidth,
+		Words:     *words,
+		Transient: *transient,
+		Permanent: *permanent,
+		Wide:      *wide,
+		Seed:      *seed,
+		Warmstart: *warmstart,
+	}.Build()
+	if err != nil {
+		lg.Print(err)
+		return 1
+	}
+	c.Target.Lanes = *lanes
+	c.Target.Collapse = *collapse
+	c.Target.Supervision = inject.Supervision{
+		CycleBudget: *cycleBudget,
+		WallBudget:  *expTimeout,
+		Clock:       time.Now,
+		Retries:     *retries,
+		Quarantine:  true,
+	}
+
+	var rw io.ReadWriteCloser
+	if *stdio {
+		rw = stdioConn{os.Stdin, os.Stdout}
+	} else {
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			lg.Print(err)
+			return 1
+		}
+		rw = conn
+	}
+	lg.Printf("joined campaign as %q (%d experiments in plan)", *name, len(c.Plan))
+	err = dist.RunWorker(rw, dist.WorkerConfig{
+		Name:      *name,
+		Target:    c.Target,
+		Golden:    c.Golden,
+		Plan:      c.Plan,
+		Workers:   *workers,
+		Heartbeat: *heartbeat,
+		Logf:      lg.Printf,
+	})
+	if err != nil {
+		lg.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// stdioConn adapts the process's stdin/stdout pipes to the protocol's
+// stream interface for subprocess workers.
+type stdioConn struct {
+	io.Reader
+	io.Writer
+}
+
+func (stdioConn) Close() error { return nil }
+
 // recordVCDs dumps the golden waveform plus the first dangerous-
 // undetected experiment's faulty waveform for debugging.
-func recordVCDs(prefix string, target *inject.Target, g *inject.Golden, rep *inject.Report) error {
+func recordVCDs(stdout io.Writer, prefix string, target *inject.Target, g *inject.Golden, rep *inject.Report) error {
 	write := func(path string, inj *inject.Injection) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -317,7 +444,7 @@ func recordVCDs(prefix string, target *inject.Target, g *inject.Golden, rep *inj
 		if err := target.RecordVCD(g, inj, f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", path)
+		fmt.Fprintf(stdout, "wrote %s\n", path)
 		return nil
 	}
 	if err := write(prefix+"_golden.vcd", nil); err != nil {

@@ -1,0 +1,763 @@
+package dist_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/frcpu"
+	"repro/internal/inject"
+	"repro/internal/telemetry"
+	"repro/internal/zones"
+)
+
+// fakeClock is the injected time source for every coordinator under
+// test: each sample advances one microsecond (strictly monotonic
+// ordering without wall time), and tests jump it forward to trigger
+// TTL and backoff transitions deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(time.Microsecond)
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// campaign bundles one built campaign plus everything the canonical
+// report needs.
+type campaign struct {
+	target    *inject.Target
+	golden    *inject.Golden
+	plan      []inject.Injection
+	analysis  *zones.Analysis
+	worksheet *fmea.Worksheet
+}
+
+// buildCampaign constructs a reduced campaign for one of the three
+// case studies. The v1/v2 designs go through dist.Spec — the exact
+// code path cmd/campaignd and worker processes share — and the
+// lockstep CPU is built directly (it has no Spec encoding; in-process
+// tests don't need one).
+func buildCampaign(t testing.TB, kind string) campaign {
+	t.Helper()
+	switch kind {
+	case "v1", "v2":
+		c, err := dist.Spec{
+			Design: kind, AddrWidth: 6, Words: 2,
+			Transient: 1, Permanent: 1, Wide: 4, Seed: 5,
+		}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return campaign{
+			target: c.Target, golden: c.Golden, plan: sample(c.Plan),
+			analysis: c.Analysis, worksheet: c.Worksheet,
+		}
+	case "lockstep":
+		d, err := frcpu.Build(frcpu.LockstepConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := d.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := d.InjectionTarget(a)
+		g, err := target.RunGolden(d.Workload(120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := inject.BuildPlan(a, g, inject.PlanConfig{TransientPerZone: 1, PermanentPerZone: 1, Seed: 3})
+		return campaign{
+			target: target, golden: g, plan: sample(plan),
+			analysis: a, worksheet: d.Worksheet(a, fit.Default()),
+		}
+	default:
+		t.Fatalf("unknown campaign kind %q", kind)
+		return campaign{}
+	}
+}
+
+// sample strides the plan down so each matrix cell stays quick while
+// still spanning many zones and experiment classes.
+func sample(plan []inject.Injection) []inject.Injection {
+	var out []inject.Injection
+	for i := 0; i < len(plan); i += 3 {
+		out = append(out, plan[i])
+	}
+	return out
+}
+
+// serialReference runs the campaign through the single-process serial
+// engine — the byte-identity reference every distributed topology must
+// reproduce.
+func serialReference(t testing.TB, c campaign) *inject.Report {
+	t.Helper()
+	tgt := *c.target
+	tgt.Workers = 1
+	rep, err := tgt.Run(c.golden, c.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// renderReport captures the canonical report bytes.
+func renderReport(rep *inject.Report, c campaign) []byte {
+	var buf bytes.Buffer
+	rep.WriteText(&buf, c.analysis, c.worksheet, 0.35)
+	return buf.Bytes()
+}
+
+// distOpts selects one cell of the topology matrix.
+type distOpts struct {
+	workers   int  // connected worker processes
+	killLease int  // kill worker 0 when granted its killLease-th lease (0 = never)
+	lanes     int  // simulation lanes inside each worker
+	collapse  bool // static pre-pass inside each worker
+	local     bool // coordinator local-fallback runner enabled
+	rangeSize int
+	tel       *telemetry.Campaign
+}
+
+// runDistributed executes the campaign through a real coordinator and
+// in-process workers speaking the full wire protocol over net.Pipe,
+// and returns the merged report.
+func runDistributed(t *testing.T, c campaign, o distOpts) *inject.Report {
+	t.Helper()
+	clk := newFakeClock()
+	cfg := dist.Config{
+		Plan:        c.plan,
+		RangeSize:   o.rangeSize,
+		LeaseTTL:    time.Hour, // disconnects drive recovery here, not TTLs
+		MaxAttempts: 10,
+		BackoffBase: time.Nanosecond, // one clock micro-step clears it
+		BackoffCap:  time.Microsecond,
+		Clock:       clk.Now,
+		Telemetry:   o.tel,
+	}
+	if o.local {
+		lt := *c.target
+		lt.Lanes = o.lanes
+		lt.Collapse = o.collapse
+		cfg.LocalRunner = func(lo, hi int) (*inject.Checkpoint, error) {
+			return lt.RunRange(c.golden, c.plan, 2, lo, hi)
+		}
+	}
+	coord, err := dist.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < o.workers; i++ {
+		server, client := net.Pipe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			coord.Serve(server)
+		}()
+		wt := *c.target
+		wt.Lanes = o.lanes
+		wt.Collapse = o.collapse
+		wcfg := dist.WorkerConfig{
+			Name:      fmt.Sprintf("w%d", i),
+			Target:    &wt,
+			Golden:    c.golden,
+			Plan:      c.plan,
+			Workers:   2,
+			Heartbeat: 50 * time.Millisecond,
+		}
+		if o.killLease > 0 && i == 0 {
+			kill := o.killLease
+			wcfg.OnLease = func(count, lo, hi int) bool { return count < kill }
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist.RunWorker(client, wcfg)
+		}()
+	}
+
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		for {
+			select {
+			case <-coord.Done():
+				return
+			default:
+				coord.Tick()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	select {
+	case <-coord.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatal("distributed campaign did not complete")
+	}
+	<-tickDone
+	wg.Wait()
+
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.target.AssembleReport(c.plan, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestDistNeutralityMatrix is the acceptance bar one level up: the
+// distributed merge must be byte-identical to the single-process
+// serial run across cluster sizes, kill schedules, case studies, lane
+// widths and collapse — including degradation to coordinator-only
+// local execution when every worker dies.
+func TestDistNeutralityMatrix(t *testing.T) {
+	cells := []struct {
+		name      string
+		kind      string
+		workers   int
+		killLease int
+		lanes     int
+		collapse  bool
+		local     bool
+	}{
+		{"v2/1worker", "v2", 1, 0, 1, false, false},
+		{"v2/2workers-kill", "v2", 2, 2, 1, false, false},
+		{"v2/4workers-lanes64-collapse", "v2", 4, 0, 64, true, false},
+		{"v2/2workers-kill-lanes64", "v2", 2, 2, 64, false, false},
+		{"v2/all-workers-die-local-fallback", "v2", 1, 1, 1, false, true},
+		{"v1/2workers-collapse", "v1", 2, 0, 1, true, false},
+		{"v1/2workers-kill-local", "v1", 2, 1, 64, false, true},
+		{"lockstep/2workers-lanes64-collapse", "lockstep", 2, 0, 64, true, false},
+		{"lockstep/2workers-kill", "lockstep", 2, 2, 1, false, false},
+	}
+
+	campaigns := map[string]campaign{}
+	refs := map[string]*inject.Report{}
+	refBytes := map[string][]byte{}
+	for _, kind := range []string{"v1", "v2", "lockstep"} {
+		c := buildCampaign(t, kind)
+		campaigns[kind] = c
+		refs[kind] = serialReference(t, c)
+		refBytes[kind] = renderReport(refs[kind], c)
+	}
+
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			c := campaigns[cell.kind]
+			rep := runDistributed(t, c, distOpts{
+				workers:   cell.workers,
+				killLease: cell.killLease,
+				lanes:     cell.lanes,
+				collapse:  cell.collapse,
+				local:     cell.local,
+				rangeSize: 7, // prime: ranges straddle zone and class boundaries
+			})
+			if !reflect.DeepEqual(refs[cell.kind], rep) {
+				t.Fatal("distributed report differs structurally from the serial reference")
+			}
+			if got := renderReport(rep, c); !bytes.Equal(got, refBytes[cell.kind]) {
+				t.Fatalf("distributed report bytes differ from the serial reference:\n--- serial\n%s\n--- distributed\n%s",
+					refBytes[cell.kind], got)
+			}
+		})
+	}
+}
+
+// TestDistTelemetryCounters pins the non-vacuity of the distributed
+// scheduling counters: a campaign with a worker kill must move
+// leases_issued and worker_retries, the workers_active gauge must
+// return to zero, and the counters must surface through the /progress
+// snapshot payload and its rendered line.
+func TestDistTelemetryCounters(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	ref := serialReference(t, c)
+	tel := telemetry.NewCampaign(nil, nil)
+	rep := runDistributed(t, c, distOpts{
+		workers: 2, killLease: 2, lanes: 1, rangeSize: 7, tel: tel,
+	})
+	if !reflect.DeepEqual(ref, rep) {
+		t.Fatal("telemetry run diverged from the serial reference")
+	}
+	snap := tel.Snapshot()
+	if snap.LeasesIssued == 0 {
+		t.Error("leases_issued stayed zero across a distributed campaign")
+	}
+	if snap.WorkerRetries == 0 {
+		t.Error("worker_retries stayed zero across a worker kill")
+	}
+	if snap.WorkersActive != 0 {
+		t.Errorf("workers_active = %d after campaign end, want 0", snap.WorkersActive)
+	}
+	if snap.RangesQuarantined != 0 {
+		t.Errorf("ranges_quarantined = %d on a clean campaign, want 0", snap.RangesQuarantined)
+	}
+	line := snap.Line()
+	if !strings.Contains(line, fmt.Sprintf("leases %d", snap.LeasesIssued)) {
+		t.Errorf("progress line does not surface lease counters: %s", line)
+	}
+}
+
+// helloFor builds the handshake message for a plan.
+func helloFor(name string, plan []inject.Injection) *dist.Msg {
+	return &dist.Msg{
+		T:        dist.MsgHello,
+		V:        dist.ProtocolVersion,
+		Worker:   name,
+		PlanHash: fmt.Sprintf("%016x", inject.PlanHash(plan)),
+		PlanLen:  len(plan),
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLeaseExpiryFallsBackToLocal: a worker that takes a lease and
+// goes silent must lose it at the TTL (leases_expired moves), and once
+// the dead worker disconnects the coordinator must finish the whole
+// campaign through the local runner — byte-identical to the serial
+// reference.
+func TestLeaseExpiryFallsBackToLocal(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	ref := serialReference(t, c)
+	clk := newFakeClock()
+	tel := telemetry.NewCampaign(nil, nil)
+	lt := *c.target
+	coord, err := dist.New(dist.Config{
+		Plan:        c.plan,
+		RangeSize:   16,
+		LeaseTTL:    time.Minute,
+		MaxAttempts: 5,
+		BackoffBase: time.Millisecond,
+		Clock:       clk.Now,
+		Telemetry:   tel,
+		LocalRunner: func(lo, hi int) (*inject.Checkpoint, error) {
+			return lt.RunRange(c.golden, c.plan, 2, lo, hi)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	server, client := net.Pipe()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		coord.Serve(server)
+	}()
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("silent", c.plan)); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.T != dist.MsgLease {
+		t.Fatalf("got %q after hello, want a lease", lease.T)
+	}
+
+	// Never heartbeat; jump past the TTL and let the scheduler notice.
+	clk.Advance(2 * time.Minute)
+	coord.Tick()
+	if got := tel.Snapshot().LeasesExpired; got != 1 {
+		t.Fatalf("leases_expired = %d after TTL lapse, want 1", got)
+	}
+
+	// The dead worker drops off; with no live workers left the
+	// coordinator must degrade to local-only execution.
+	client.Close()
+	<-serveDone
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		select {
+		case <-coord.Done():
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("coordinator did not finish locally")
+			}
+			clk.Advance(10 * time.Millisecond) // clear re-issue backoff
+			coord.Tick()
+			continue
+		}
+		break
+	}
+
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.target.AssembleReport(c.plan, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, rep) {
+		t.Fatal("local-fallback report differs from the serial reference")
+	}
+	if got := renderReport(rep, c); !bytes.Equal(got, renderReport(ref, c)) {
+		t.Fatal("local-fallback report bytes differ from the serial reference")
+	}
+	if got := tel.Snapshot().WorkersActive; got != 0 {
+		t.Fatalf("workers_active = %d after disconnect, want 0", got)
+	}
+}
+
+// TestFailingRangeQuarantinedWithBackoff: a range whose worker fails
+// every attempt is re-issued with backoff gating each retry and
+// quarantined at MaxAttempts, with every plan row conservatively
+// recorded dangerous-undetected — the PR 3 semantics lifted to ranges.
+func TestFailingRangeQuarantinedWithBackoff(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	clk := newFakeClock()
+	tel := telemetry.NewCampaign(nil, nil)
+	coord, err := dist.New(dist.Config{
+		Plan:        c.plan,
+		RangeSize:   len(c.plan), // one range: the whole campaign poisons
+		LeaseTTL:    time.Hour,
+		MaxAttempts: 3,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffCap:  10 * time.Second,
+		Clock:       clk.Now,
+		Telemetry:   tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go coord.Serve(server)
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("flaky", c.plan)); err != nil {
+		t.Fatal(err)
+	}
+
+	retries := func() int64 { return tel.Snapshot().WorkerRetries }
+	for attempt := 1; attempt <= 3; attempt++ {
+		m, err := wc.Read()
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if m.T != dist.MsgLease {
+			t.Fatalf("attempt %d: got %q, want a lease", attempt, m.T)
+		}
+		if err := wc.Write(&dist.Msg{T: dist.MsgFail, Lease: m.Lease, Err: "synthetic failure"}); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(attempt)
+		waitFor(t, "retry counter", func() bool { return retries() == want })
+		if attempt == 3 {
+			break
+		}
+		// Backoff gates the re-issue: a scheduler pass before the
+		// backoff elapses must not grant a new lease.
+		coord.Tick()
+		if got := tel.Snapshot().LeasesIssued; got != int64(attempt) {
+			t.Fatalf("lease re-issued before backoff elapsed (leases_issued = %d)", got)
+		}
+		clk.Advance(time.Second)
+		coord.Tick()
+	}
+
+	// Third failure exhausts the attempt budget: quarantine + fin.
+	fin, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.T != dist.MsgFin {
+		t.Fatalf("got %q after quarantine, want fin", fin.T)
+	}
+	<-coord.Done()
+	if got := tel.Snapshot().RangesQuarantined; got != 1 {
+		t.Fatalf("ranges_quarantined = %d, want 1", got)
+	}
+
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Results) != 0 || len(ck.Quarantined) != len(c.plan) {
+		t.Fatalf("merged state has %d results + %d quarantined, want 0 + %d",
+			len(ck.Results), len(ck.Quarantined), len(c.plan))
+	}
+	for i, q := range ck.Quarantined {
+		if q.PlanIndex != i || q.Injection != c.plan[i] {
+			t.Fatalf("quarantine record %d misindexed", i)
+		}
+		if q.Attempts != 3 || !strings.Contains(q.Err, "range quarantined") {
+			t.Fatalf("quarantine record %d: attempts=%d err=%q", i, q.Attempts, q.Err)
+		}
+	}
+	rep, err := c.target.AssembleReport(c.plan, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != len(c.plan) || !rep.Degraded() {
+		t.Fatal("assembled report does not carry the conservative quarantine accounting")
+	}
+}
+
+// TestDuplicateDivergenceFailsCampaign: at-least-once execution is
+// only safe because duplicate completions of a range are verified
+// byte-identical; a divergent duplicate is a determinism violation and
+// must fail the whole campaign rather than silently picking a winner.
+func TestDuplicateDivergenceFailsCampaign(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	clk := newFakeClock()
+	half := (len(c.plan) + 1) / 2
+	coord, err := dist.New(dist.Config{
+		Plan:        c.plan,
+		RangeSize:   half, // two ranges: campaign stays open past r0
+		LeaseTTL:    time.Minute,
+		MaxAttempts: 10,
+		BackoffBase: time.Millisecond,
+		Clock:       clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go coord.Serve(server)
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("twofaced", c.plan)); err != nil {
+		t.Fatal(err)
+	}
+	lease1, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose the first lease to a TTL expiry; the scheduler hands the
+	// idle worker the second range while the first sits in backoff.
+	clk.Advance(2 * time.Minute)
+	coord.Tick()
+	lease2, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease2.T != dist.MsgLease || lease2.Lo != lease1.Hi {
+		t.Fatalf("expected a lease on the second range, got %q [%d,%d)", lease2.T, lease2.Lo, lease2.Hi)
+	}
+
+	// The expired lease now delivers — a correct, validated result for
+	// the first range, absorbed under at-least-once semantics.
+	good, err := c.target.RunRange(c.golden, c.plan, 2, lease1.Lo, lease1.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Write(&dist.Msg{
+		T: dist.MsgResult, Lease: lease1.Lease,
+		Ckpt: inject.EncodeCheckpoint(good, c.plan),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A retransmit of the same range then arrives with different bytes.
+	diverged := &inject.Checkpoint{
+		Results:     append([]inject.IndexedResult(nil), good.Results...),
+		Quarantined: good.Quarantined,
+	}
+	diverged.Results[0].Result.FirstDevCycle++
+	if err := wc.Write(&dist.Msg{
+		T: dist.MsgResult, Lease: lease1.Lease,
+		Ckpt: inject.EncodeCheckpoint(diverged, c.plan),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "campaign failure", func() bool { return coord.Err() != nil })
+	if !strings.Contains(coord.Err().Error(), "determinism violation") {
+		t.Fatalf("campaign error = %v, want a determinism violation", coord.Err())
+	}
+	<-coord.Done()
+	if _, err := coord.Result(); err == nil {
+		t.Fatal("Result succeeded on a failed campaign")
+	}
+}
+
+// TestDuplicateIdenticalAccepted: the benign at-least-once case — the
+// same range completing twice with identical bytes — must be absorbed
+// without double-counting and without failing anything.
+func TestDuplicateIdenticalAccepted(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	clk := newFakeClock()
+	coord, err := dist.New(dist.Config{
+		Plan:        c.plan,
+		RangeSize:   len(c.plan),
+		LeaseTTL:    time.Minute,
+		MaxAttempts: 10,
+		BackoffBase: time.Millisecond,
+		Clock:       clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go coord.Serve(server)
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("echo", c.plan)); err != nil {
+		t.Fatal(err)
+	}
+	lease1, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	coord.Tick()
+	clk.Advance(time.Second)
+	coord.Tick()
+	lease2, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := c.target.RunRange(c.golden, c.plan, 2, lease1.Lo, lease1.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := inject.EncodeCheckpoint(good, c.plan)
+	for _, lease := range []int64{lease1.Lease, lease2.Lease} {
+		if err := wc.Write(&dist.Msg{T: dist.MsgResult, Lease: lease, Ckpt: enc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First result completes the only range; fin follows. The
+	// duplicate is verified and dropped without reopening anything.
+	fin, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.T != dist.MsgFin {
+		t.Fatalf("got %q, want fin", fin.T)
+	}
+	<-coord.Done()
+	if err := coord.Err(); err != nil {
+		t.Fatalf("identical duplicate failed the campaign: %v", err)
+	}
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Results)+len(ck.Quarantined) != len(c.plan) {
+		t.Fatalf("merged state covers %d rows, want %d (no double-counting)",
+			len(ck.Results)+len(ck.Quarantined), len(c.plan))
+	}
+}
+
+// TestHelloValidation: a worker with a different plan fingerprint or
+// protocol version must be rejected before any lease is issued.
+func TestHelloValidation(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	clk := newFakeClock()
+	for _, tc := range []struct {
+		name  string
+		hello *dist.Msg
+	}{
+		{"plan mismatch", &dist.Msg{
+			T: dist.MsgHello, V: dist.ProtocolVersion, Worker: "alien",
+			PlanHash: "deadbeefdeadbeef", PlanLen: len(c.plan),
+		}},
+		{"plan length mismatch", func() *dist.Msg {
+			m := helloFor("short", c.plan)
+			m.PlanLen--
+			return m
+		}()},
+		{"protocol version", func() *dist.Msg {
+			m := helloFor("old", c.plan)
+			m.V = dist.ProtocolVersion + 1
+			return m
+		}()},
+		{"not a hello", &dist.Msg{T: dist.MsgHeartbeat}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, err := dist.New(dist.Config{Plan: c.plan, Clock: clk.Now})
+			if err != nil {
+				t.Fatal(err)
+			}
+			server, client := net.Pipe()
+			go coord.Serve(server)
+			wc := dist.NewConn(client)
+			if err := wc.Write(tc.hello); err != nil {
+				t.Fatal(err)
+			}
+			m, err := wc.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.T != dist.MsgError {
+				t.Fatalf("got %q, want an error rejection", m.T)
+			}
+		})
+	}
+}
+
+// TestEmptyPlanCompletesImmediately: zero ranges means the campaign is
+// born finished, and late workers get fin at hello.
+func TestEmptyPlanCompletesImmediately(t *testing.T) {
+	clk := newFakeClock()
+	coord, err := dist.New(dist.Config{Plan: nil, Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("empty campaign not finished at construction")
+	}
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Results) != 0 || len(ck.Quarantined) != 0 {
+		t.Fatal("empty campaign produced records")
+	}
+	server, client := net.Pipe()
+	go coord.Serve(server)
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("late", nil)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.T != dist.MsgFin {
+		t.Fatalf("late worker got %q, want fin", m.T)
+	}
+}

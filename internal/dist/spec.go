@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/fmea"
+	"repro/internal/inject"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+	"repro/internal/zones"
+)
+
+// Spec pins the campaign inputs every process in a distributed run
+// must agree on. Coordinator and workers each call Build locally —
+// nothing heavyweight crosses the wire — and the resulting plan
+// fingerprint (hash + length) is validated at hello, so a worker built
+// from different parameters is turned away before it can contribute a
+// single record.
+type Spec struct {
+	// Design selects the implementation: "v1" or "v2".
+	Design string
+	// AddrWidth and Words shape the memory and its March workload.
+	AddrWidth int
+	Words     int
+	// Transient/Permanent are per-zone experiment counts; Wide is the
+	// global wide-fault experiment count.
+	Transient int
+	Permanent int
+	Wide      int
+	// Seed drives plan construction (WidePlan uses Seed+1, matching
+	// cmd/injector).
+	Seed uint64
+	// Warmstart is the golden snapshot cadence in cycles (0 = cold
+	// start). A local throughput knob: it is applied before the golden
+	// run but does not alter the plan fingerprint or any result byte,
+	// so processes in one campaign may disagree on it.
+	Warmstart int
+}
+
+// Campaign is a fully built campaign: everything a coordinator needs
+// to merge and render, and everything a worker needs to run leases.
+type Campaign struct {
+	Name      string
+	Design    *memsys.Design
+	Analysis  *zones.Analysis
+	Target    *inject.Target
+	Golden    *inject.Golden
+	Trace     *workload.Trace
+	Plan      []inject.Injection
+	Worksheet *fmea.Worksheet
+}
+
+// Build constructs the campaign: design, zone analysis, injection
+// target, golden run, plan and worksheet — the same sequence as
+// cmd/injector, so a Spec-built plan hashes identically to the
+// single-process campaign with the same flags.
+func (sp Spec) Build() (*Campaign, error) {
+	var cfg memsys.Config
+	switch sp.Design {
+	case "v1":
+		cfg = memsys.V1Config()
+	case "v2":
+		cfg = memsys.V2Config()
+	default:
+		return nil, fmt.Errorf("dist: unknown design %q (want v1 or v2)", sp.Design)
+	}
+	cfg.AddrWidth = sp.AddrWidth
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	target := d.InjectionTargetSeeded(a, d.SeedFaults())
+	target.SnapshotEvery = sp.Warmstart
+	tr := d.ValidationWorkload(sp.Words, sp.Seed)
+	g, err := target.RunGolden(tr)
+	if err != nil {
+		return nil, err
+	}
+	plan := inject.BuildPlan(a, g, inject.PlanConfig{
+		TransientPerZone: sp.Transient,
+		PermanentPerZone: sp.Permanent,
+		Seed:             sp.Seed,
+	})
+	plan = append(plan, inject.WidePlan(a, g, sp.Wide, sp.Seed+1)...)
+	return &Campaign{
+		Name:      cfg.Name,
+		Design:    d,
+		Analysis:  a,
+		Target:    target,
+		Golden:    g,
+		Trace:     tr,
+		Plan:      plan,
+		Worksheet: d.Worksheet(a, fit.Default()),
+	}, nil
+}

@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/inject"
+)
+
+// ErrKilled is returned by RunWorker when the OnLease hook aborts the
+// worker mid-campaign — the in-process stand-in for kill -9 in crash
+// tests. The connection is dropped without a goodbye, exactly like a
+// killed process.
+var ErrKilled = errors.New("dist: worker killed by test hook")
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Target/Golden/Plan are the worker's locally-built campaign; the
+	// plan fingerprint is validated against the coordinator's at hello.
+	Target *inject.Target
+	Golden *inject.Golden
+	Plan   []inject.Injection
+	// Workers is the goroutine shard count inside one leased range
+	// (<= 0: 1).
+	Workers int
+	// Heartbeat is the keep-alive cadence while a lease runs
+	// (<= 0: 2s). Must be well under the coordinator's lease TTL.
+	Heartbeat time.Duration
+	// OnLease, when set, is consulted before running each granted
+	// lease (count is 1-based across the worker's lifetime); returning
+	// false kills the worker abruptly. Test hook only.
+	OnLease func(count, lo, hi int) bool
+	// Logf receives scheduling events (nil = silent). Out-of-band.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker speaks the worker side of the protocol over rw: hello,
+// then lease → run → result until the coordinator says fin. Each lease
+// runs through the full supervised engine (inject.RunRange), so
+// watchdogs, retries, per-experiment quarantine, lanes and collapse
+// all apply within the range; a heartbeat goroutine keeps the lease
+// alive for as long as the range takes. Returns nil on a clean fin.
+func RunWorker(rw io.ReadWriteCloser, cfg WorkerConfig) error {
+	conn := NewConn(rw)
+	defer conn.Close()
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	err := conn.Write(&Msg{
+		T:        MsgHello,
+		V:        ProtocolVersion,
+		Worker:   cfg.Name,
+		PlanHash: fmt.Sprintf("%016x", inject.PlanHash(cfg.Plan)),
+		PlanLen:  len(cfg.Plan),
+	})
+	if err != nil {
+		return fmt.Errorf("dist: worker: hello: %w", err)
+	}
+
+	leases := 0
+	for {
+		m, err := conn.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return errors.New("dist: worker: coordinator closed connection")
+			}
+			return err
+		}
+		switch m.T {
+		case MsgLease:
+			leases++
+			if cfg.OnLease != nil && !cfg.OnLease(leases, m.Lo, m.Hi) {
+				return ErrKilled
+			}
+			logf("lease %d: running range [%d,%d)", m.Lease, m.Lo, m.Hi)
+			stop := startHeartbeats(conn, m.Lease, cfg.Heartbeat)
+			ck, runErr := cfg.Target.RunRange(cfg.Golden, cfg.Plan, cfg.Workers, m.Lo, m.Hi)
+			stop()
+			if runErr != nil {
+				logf("lease %d: range [%d,%d) failed: %v", m.Lease, m.Lo, m.Hi, runErr)
+				if werr := conn.Write(&Msg{T: MsgFail, Lease: m.Lease, Err: runErr.Error()}); werr != nil {
+					return werr
+				}
+				continue
+			}
+			logf("lease %d: range [%d,%d) complete", m.Lease, m.Lo, m.Hi)
+			werr := conn.Write(&Msg{
+				T:     MsgResult,
+				Lease: m.Lease,
+				Ckpt:  inject.EncodeCheckpoint(ck, cfg.Plan),
+			})
+			if werr != nil {
+				return werr
+			}
+		case MsgFin:
+			logf("campaign complete after %d lease(s)", leases)
+			return nil
+		case MsgError:
+			return fmt.Errorf("dist: worker: coordinator error: %s", m.Err)
+		default:
+			// Unknown kinds are ignored for forward compatibility.
+		}
+	}
+}
+
+// startHeartbeats keeps one lease alive until the returned stop
+// function is called. Write errors end the heartbeater quietly — the
+// main loop will surface the broken connection.
+func startHeartbeats(conn *Conn, lease int64, every time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if conn.Write(&Msg{T: MsgHeartbeat, Lease: lease}) != nil {
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}

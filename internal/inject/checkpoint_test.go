@@ -351,17 +351,46 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	f.Add(valid[:9])
 	f.Add([]byte{})
 	f.Add([]byte("FMEACKPT"))
+
+	// Real-campaign corpus: checkpoints an actual supervised run
+	// produces (full campaign state and a partial leased-range export —
+	// the distributed protocol's interchange payload), plus a bit-flip
+	// and a truncation of each, so the fuzzer starts from the encodings
+	// the loader meets in production rather than only synthetic shapes.
+	target, g, realPlan := reducedCampaign(f, true)
+	full, err := target.RunRange(g, realPlan, 2, 0, len(realPlan))
+	if err != nil {
+		f.Fatal(err)
+	}
+	span, err := target.RunRange(g, realPlan, 2, 1, len(realPlan)/2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, real := range [][]byte{
+		inject.EncodeCheckpoint(full, realPlan),
+		inject.EncodeCheckpoint(span, realPlan),
+	} {
+		f.Add(real)
+		f.Add(real[:len(real)-3])
+		flipped := append([]byte(nil), real...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+	}
+
+	plans := [][]inject.Injection{plan, realPlan}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ck, err := inject.DecodeCheckpoint(data, plan)
-		if err != nil {
-			var ce *inject.CheckpointError
-			if !errors.As(err, &ce) {
-				t.Fatalf("got %T (%v), want *CheckpointError", err, err)
+		for _, p := range plans {
+			ck, err := inject.DecodeCheckpoint(data, p)
+			if err != nil {
+				var ce *inject.CheckpointError
+				if !errors.As(err, &ce) {
+					t.Fatalf("got %T (%v), want *CheckpointError", err, err)
+				}
+				continue
 			}
-			return
-		}
-		if re := inject.EncodeCheckpoint(ck, plan); !bytes.Equal(re, data) {
-			t.Fatalf("accepted a non-canonical encoding:\n in  %x\n out %x", data, re)
+			if re := inject.EncodeCheckpoint(ck, p); !bytes.Equal(re, data) {
+				t.Fatalf("accepted a non-canonical encoding:\n in  %x\n out %x", data, re)
+			}
 		}
 	})
 }

@@ -38,19 +38,19 @@ func batchable(inj Injection) bool {
 	return false
 }
 
-// buildUnits partitions the pending plan indices into work units: each
-// unbatchable experiment is its own unit; batchable ones are sorted by
-// (injection cycle, plan index) — so the lanes of one batch want the
-// same golden snapshot — and chunked into units of up to lanes members.
-// Units are ordered by their lowest plan index, approximating the
-// ascending claim order of the per-experiment cursor. Rows the static
-// pre-pass collapsed onto a representative (pc non-nil) are excluded:
-// they inherit their result after the drain instead of occupying a
-// lane.
-func buildUnits(st *campaignState, plan []Injection, lanes int, pc *planCollapse) [][]int {
+// buildUnits partitions the pending plan indices of the span [lo, hi)
+// into work units: each unbatchable experiment is its own unit;
+// batchable ones are sorted by (injection cycle, plan index) — so the
+// lanes of one batch want the same golden snapshot — and chunked into
+// units of up to lanes members. Units are ordered by their lowest plan
+// index, approximating the ascending claim order of the per-experiment
+// cursor. Rows the static pre-pass collapsed onto a representative
+// (pc non-nil) are excluded: they inherit their result after the drain
+// instead of occupying a lane.
+func buildUnits(st *campaignState, plan []Injection, lanes int, pc *planCollapse, lo, hi int) [][]int {
 	var units [][]int
 	var batch []int
-	for i := range plan {
+	for i := lo; i < hi; i++ {
 		if st.slots[i].done {
 			continue
 		}

@@ -1,0 +1,82 @@
+package inject_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/inject"
+)
+
+// TestQuarantineWithLanesAndCollapse: a panicking fault inside a
+// 64-lane word-parallel batch must retire only its own lane — the
+// other experiments packed into the same machine word keep their
+// verdicts — and the quarantine records must match the scalar engine
+// exactly, with and without the static collapse pre-pass, at any
+// worker count.
+func TestQuarantineWithLanesAndCollapse(t *testing.T) {
+	target, g, plan := reducedCampaign(t, true)
+	// Poison two rows that land in the same 64-lane batch (3 and 7)
+	// plus one further out, so both intra-batch isolation and
+	// cross-batch scheduling are exercised.
+	poison := []int{3, 7, len(plan) - 2}
+	poisoned := poisonPlan(plan, poison...)
+
+	// Scalar reference: lanes 1, no collapse, serial.
+	ref := *target
+	ref.Supervision = inject.Supervision{Quarantine: true, Retries: 2}
+	want, err := ref.Run(g, poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Quarantined) != len(poison) {
+		t.Fatalf("scalar reference quarantined %d rows, want %d", len(want.Quarantined), len(poison))
+	}
+
+	for _, tc := range []struct {
+		name     string
+		lanes    int
+		collapse bool
+		workers  int
+	}{
+		{"lanes64", 64, false, 1},
+		{"lanes64-collapse", 64, true, 1},
+		{"lanes64-collapse-workers8", 64, true, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tgt := *target
+			tgt.Lanes = tc.lanes
+			tgt.Collapse = tc.collapse
+			tgt.Workers = tc.workers
+			tgt.Supervision = inject.Supervision{Quarantine: true, Retries: 2}
+			rep, err := tgt.Run(g, poisoned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Quarantined) != len(poison) {
+				t.Fatalf("quarantined %d rows, want %d", len(rep.Quarantined), len(poison))
+			}
+			for qi, pi := range poison {
+				q := rep.Quarantined[qi]
+				if q.PlanIndex != pi || q.Injection != poisoned[pi] {
+					t.Fatalf("quarantine record %d names plan index %d, want %d", qi, q.PlanIndex, pi)
+				}
+				if q.Attempts != 3 {
+					t.Fatalf("quarantine record %d: attempts = %d, want 3 (1 + 2 retries)", qi, q.Attempts)
+				}
+			}
+			// The batch survives the lane: every non-poisoned row keeps
+			// a verdict, and the whole report is identical to the
+			// scalar engine's — the poisoned lane is surgically
+			// removed, not the 64-wide batch around it.
+			if len(rep.Results) != len(plan)-len(poison) {
+				t.Fatalf("campaign kept %d results, want %d", len(rep.Results), len(plan)-len(poison))
+			}
+			if !reflect.DeepEqual(want, rep) {
+				t.Fatal("lane-parallel quarantine report differs from the scalar reference")
+			}
+			if !rep.Degraded() {
+				t.Fatal("report with quarantined rows must be Degraded")
+			}
+		})
+	}
+}

@@ -89,11 +89,11 @@ type campaignState struct {
 	sinceCkpt int
 }
 
-// snapshot renders the current completed state as a Checkpoint, in
-// canonical plan-index order.
-func (st *campaignState) snapshot() *Checkpoint {
+// snapshotSpan renders the completed state of plan indices [lo, hi) as
+// a Checkpoint, in canonical plan-index order.
+func (st *campaignState) snapshotSpan(lo, hi int) *Checkpoint {
 	ck := &Checkpoint{}
-	for i := range st.slots {
+	for i := lo; i < hi; i++ {
 		s := &st.slots[i]
 		if !s.done {
 			continue
@@ -125,11 +125,107 @@ func (st *campaignState) snapshot() *Checkpoint {
 // order, so the first failing index is always claimed and executed
 // before the abort flag can stop any later one.
 func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report, error) {
+	st, err := t.runSpan(g, plan, workers, 0, len(plan))
+	if err != nil {
+		return nil, err
+	}
+	rep, ci := newReport(t.Analysis)
+	for i := range st.slots {
+		s := &st.slots[i]
+		if s.quar {
+			rep.Quarantined = append(rep.Quarantined, s.q)
+		} else {
+			rep.absorb(s.res, ci)
+		}
+	}
+	t.Telemetry.Summary()
+	return rep, nil
+}
+
+// RunRange executes only the plan indices in [lo, hi) and returns the
+// completed partial campaign state as a Checkpoint — the interchange
+// unit of the distributed coordinator/worker protocol (internal/dist).
+// Every verdict in the returned state is exactly the one the full
+// serial campaign would have produced for that plan row, so disjoint
+// ranges merged in plan order (see AssembleReport) rebuild the
+// bit-identical single-process report. Lanes, warm start, collapse and
+// the per-experiment supervision policy all compose: they are
+// per-process throughput/robustness knobs that never change a result
+// row.
+func (t *Target) RunRange(g *Golden, plan []Injection, workers, lo, hi int) (*Checkpoint, error) {
+	if lo < 0 || hi > len(plan) || lo > hi {
+		return nil, fmt.Errorf("inject: range [%d,%d) outside plan of %d", lo, hi, len(plan))
+	}
+	st, err := t.runSpan(g, plan, workers, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	t.Telemetry.Summary()
+	return st.snapshotSpan(lo, hi), nil
+}
+
+// AssembleReport merges complete per-index campaign state — typically
+// the union of RunRange checkpoints covering the whole plan — into the
+// final report, using exactly the in-order merge of RunParallel, so
+// the assembled report is byte-identical to a single-process run.
+// Every plan index must be covered exactly once, and every record's
+// injection must match the plan's; any deviation is an error, never a
+// silently wrong report.
+func (t *Target) AssembleReport(plan []Injection, ck *Checkpoint) (*Report, error) {
+	slots := make([]expSlot, len(plan))
+	place := func(i int, s expSlot, inj Injection) error {
+		if i < 0 || i >= len(plan) {
+			return fmt.Errorf("inject: assemble: plan index %d out of range", i)
+		}
+		if slots[i].done {
+			return fmt.Errorf("inject: assemble: plan index %d covered twice", i)
+		}
+		if inj != plan[i] {
+			return fmt.Errorf("inject: assemble: record %d injection differs from the plan", i)
+		}
+		slots[i] = s
+		return nil
+	}
+	for _, ir := range ck.Results {
+		if err := place(ir.PlanIndex, expSlot{done: true, res: ir.Result}, ir.Result.Injection); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range ck.Quarantined {
+		if err := place(q.PlanIndex, expSlot{done: true, quar: true, q: q}, q.Injection); err != nil {
+			return nil, err
+		}
+	}
+	for i := range slots {
+		if !slots[i].done {
+			return nil, fmt.Errorf("inject: assemble: plan index %d has no result", i)
+		}
+	}
+	rep, ci := newReport(t.Analysis)
+	for i := range slots {
+		s := &slots[i]
+		if s.quar {
+			rep.Quarantined = append(rep.Quarantined, s.q)
+		} else {
+			rep.absorb(s.res, ci)
+		}
+	}
+	return rep, nil
+}
+
+// runSpan is the campaign execution engine behind RunParallel (full
+// span) and RunRange (a leased sub-range): it completes every pending
+// plan index in [lo, hi) and leaves the verdicts in the returned
+// per-index slots. Indices outside the span are never claimed; a
+// checkpoint preload may still fill them (harmless — they are simply
+// not exported by snapshotSpan).
+func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*campaignState, error) {
+	span := hi - lo
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(plan) {
-		workers = maxInt(1, len(plan))
+	if workers > span {
+		workers = maxInt(1, span)
 	}
 	sup := t.Supervision
 	if sup.Checkpoint != "" && sup.CheckpointEvery <= 0 {
@@ -137,7 +233,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	}
 	tel := t.Telemetry
 	if tel != nil {
-		tel.PlanBuilt(len(plan), workers, PlanHash(plan))
+		tel.PlanBuilt(span, workers, PlanHash(plan))
 	}
 
 	st := &campaignState{slots: make([]expSlot, len(plan))}
@@ -159,12 +255,12 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	// host timing, so it disables the pre-pass the same way it disables
 	// lanes.
 	var pc *planCollapse
-	if t.Collapse && len(plan) > 0 && !(sup.WallBudget > 0 && sup.Clock != nil) {
+	if t.Collapse && span > 0 && !(sup.WallBudget > 0 && sup.Clock != nil) {
 		pc = t.collapsePlan(g, plan)
 	}
 	if pc != nil {
 		applied := 0
-		for i := range plan {
+		for i := lo; i < hi; i++ {
 			if pc.static[i] && !st.slots[i].done {
 				st.slots[i] = expSlot{done: true, res: pc.res[i]}
 				applied++
@@ -179,7 +275,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	// nondeterministic and per-instance, so an armed one keeps the whole
 	// campaign on the serial per-experiment path.
 	lanes := min(t.Lanes, 64)
-	useLanes := lanes > 1 && len(plan) > 0 &&
+	useLanes := lanes > 1 && span > 0 &&
 		!(sup.WallBudget > 0 && sup.Clock != nil)
 	var prog *simc.Program
 	var units [][]int
@@ -188,7 +284,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		if prog, err = simc.Compile(t.Analysis.N); err != nil {
 			return nil, err
 		}
-		units = buildUnits(st, plan, lanes, pc)
+		units = buildUnits(st, plan, lanes, pc, lo, hi)
 	}
 
 	var (
@@ -204,7 +300,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		st.sinceCkpt++
 		stopping := sup.StopAfter > 0 && st.completed >= sup.StopAfter
 		if sup.Checkpoint != "" && (st.sinceCkpt >= sup.CheckpointEvery || stopping) {
-			if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil {
+			if err := WriteCheckpoint(sup.Checkpoint, st.snapshotSpan(lo, hi), plan); err != nil {
 				if ckptErr == nil {
 					ckptErr = err
 					stopping = true
@@ -247,7 +343,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	work := func() {
 		for {
 			i := int(cursor.Add(1)) - 1
-			if i >= len(plan) || stopped.Load() {
+			if i >= hi || stopped.Load() {
 				return
 			}
 			if st.slots[i].done { // preloaded or statically classified
@@ -300,9 +396,13 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		}
 	}
 
+	// The per-experiment cursor walks plan indices in [lo, hi); the lane
+	// cursor walks work-unit indices (units already cover only the span).
 	loop := work
+	cursor.Store(int64(lo))
 	if useLanes {
 		loop = workUnits
+		cursor.Store(0)
 	}
 	if workers == 1 {
 		loop()
@@ -335,7 +435,7 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 	// carries no result (quarantined) is simulated itself, exactly as
 	// the uncollapsed campaign would have done.
 	if pc != nil {
-		for i := range plan {
+		for i := lo; i < hi; i++ {
 			if stopped.Load() {
 				break
 			}
@@ -369,23 +469,12 @@ func (t *Target) RunParallel(g *Golden, plan []Injection, workers int) (*Report,
 		}
 	}
 	if sup.Checkpoint != "" && st.sinceCkpt > 0 {
-		if err := WriteCheckpoint(sup.Checkpoint, st.snapshot(), plan); err != nil {
+		if err := WriteCheckpoint(sup.Checkpoint, st.snapshotSpan(lo, hi), plan); err != nil {
 			return nil, err
 		}
 		tel.CheckpointWrite(st.completed)
 	}
-
-	rep, ci := newReport(t.Analysis)
-	for i := range st.slots {
-		s := &st.slots[i]
-		if s.quar {
-			rep.Quarantined = append(rep.Quarantined, s.q)
-		} else {
-			rep.absorb(s.res, ci)
-		}
-	}
-	tel.Summary()
-	return rep, nil
+	return st, nil
 }
 
 // preload fills completion slots from a checkpoint file, reporting how

@@ -12,7 +12,7 @@ import (
 // reducedCampaign builds a 64-word variant of the case-study design and
 // a small OP-guided plan — enough experiments to populate every
 // coverage array while keeping the race-enabled run fast.
-func reducedCampaign(t *testing.T, v2 bool) (*inject.Target, *inject.Golden, []inject.Injection) {
+func reducedCampaign(t testing.TB, v2 bool) (*inject.Target, *inject.Golden, []inject.Injection) {
 	t.Helper()
 	cfg := memsys.V1Config()
 	if v2 {

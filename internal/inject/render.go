@@ -1,0 +1,74 @@
+package inject
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fmea"
+	"repro/internal/report"
+	"repro/internal/zones"
+)
+
+// WriteText renders the canonical campaign report: coverage summary,
+// per-zone measured outcomes, watchdog/quarantine degradation, the
+// worksheet cross-check and the effect-table consistency verdict. This
+// is the byte-identity surface of the determinism contract — the same
+// completed campaign state produces the same bytes whether it ran
+// serially, sharded across goroutines, or leased across worker
+// processes by the distributed coordinator (internal/dist), so CI can
+// diff the report of any execution topology against the serial
+// reference. cmd/injector and cmd/campaignd both emit exactly this
+// text.
+func (r *Report) WriteText(w io.Writer, a *zones.Analysis, wks *fmea.Worksheet, tol float64) {
+	cov := r.Coverage
+	fmt.Fprintf(w, "coverage: SENS %s  OBSE %s  DIAG %s  (%d mismatches)\n",
+		report.Pct(cov.SensFrac()), report.Pct(cov.ObseFrac()), report.Pct(cov.DiagFrac()), cov.Mismatches)
+
+	t := report.NewTable("\nPer-zone measured outcomes",
+		"zone", "exp", "silent", "det-safe", "dang-det", "dang-undet", "S(meas)", "DDF(meas)")
+	for _, zm := range r.ZoneMeasures(a) {
+		t.AddRow(zm.Name, zm.Experiments, zm.Silent, zm.DetSafe, zm.DangerDet, zm.DangerUndet,
+			zm.SMeasured(), zm.DDFMeasured())
+	}
+	fmt.Fprintln(w, t.Render())
+
+	if n := r.AbortedCount(); n > 0 {
+		fmt.Fprintf(w, "WATCHDOG: %d experiment(s) aborted on budget (counted dangerous-undetected)\n", n)
+	}
+	if len(r.Quarantined) > 0 {
+		qt := report.NewTable("\nQuarantined experiments (no verdict; counted dangerous-undetected)",
+			"plan#", "injection", "attempts", "error")
+		for _, q := range r.Quarantined {
+			qt.AddRow(q.PlanIndex, q.Injection.Describe(a), q.Attempts, q.Err)
+		}
+		fmt.Fprintln(w, qt.Render())
+	}
+
+	rows := r.ValidateWorksheet(a, wks, tol)
+	bad := 0
+	for _, row := range rows {
+		if !row.Within {
+			bad++
+			flagNote := ""
+			if row.Degraded > 0 {
+				flagNote = fmt.Sprintf("  [%d experiment(s) without verdict — conservative bound]", row.Degraded)
+			}
+			fmt.Fprintf(w, "OVER-CLAIM: %-28s estS=%.2f measS=%.2f estDDF=%.2f measDDF=%.2f%s\n",
+				row.Name, row.EstS, row.MeasS, row.EstDDF, row.MeasDDF, flagNote)
+		}
+	}
+	fmt.Fprintf(w, "worksheet cross-check: %s of %d zones within tolerance (%d over-claims)\n",
+		report.Pct(PassFraction(rows)), len(rows), bad)
+
+	inconsistent := 0
+	for _, ec := range r.CheckEffects(a) {
+		if !ec.Consistent {
+			inconsistent++
+			fmt.Fprintf(w, "NEW EFFECTS for zone %s: observation points %v not in main/secondary prediction\n",
+				ec.Name, ec.Unpredicted)
+		}
+	}
+	if inconsistent == 0 {
+		fmt.Fprintln(w, "effect tables consistent with main/secondary analysis: PASS")
+	}
+}

@@ -52,6 +52,11 @@ type Campaign struct {
 	collapsed   *Counter
 	staticPrune *Counter
 	inherited   *Counter
+	leasesOut   *Counter
+	leasesExp   *Counter
+	workerRetry *Counter
+	rangesQuar  *Counter
+	distWorkers *Gauge
 
 	mu       sync.Mutex
 	outcomes map[string]*Counter
@@ -89,6 +94,11 @@ func NewCampaign(journal *Journal, clock func() time.Time) *Campaign {
 		collapsed:   r.Counter("faults_collapsed"),
 		staticPrune: r.Counter("faults_static_pruned"),
 		inherited:   r.Counter("outcomes_inherited"),
+		leasesOut:   r.Counter("leases_issued"),
+		leasesExp:   r.Counter("leases_expired"),
+		workerRetry: r.Counter("worker_retries"),
+		rangesQuar:  r.Counter("ranges_quarantined"),
+		distWorkers: r.Gauge("workers_active"),
 		outcomes:    map[string]*Counter{},
 	}
 }
@@ -298,6 +308,62 @@ func (c *Campaign) CollapseFaults(pruned, collapsed int) {
 	c.staticPrune.Add(int64(pruned))
 	c.collapsed.Add(int64(collapsed))
 	c.inherited.Add(int64(collapsed))
+}
+
+// LeaseIssued records one range lease handed to a worker (or taken by
+// the coordinator's local-fallback runner). Metrics only — the
+// distributed layer is scheduling, not campaign semantics, so the
+// journal schema is untouched.
+func (c *Campaign) LeaseIssued() {
+	if c == nil {
+		return
+	}
+	c.leasesOut.Inc()
+}
+
+// LeaseExpired records one lease revoked because its TTL lapsed
+// without a heartbeat (dead or wedged worker).
+func (c *Campaign) LeaseExpired() {
+	if c == nil {
+		return
+	}
+	c.leasesExp.Inc()
+}
+
+// WorkerRetry records one leased range thrown back on the pending
+// queue after its worker failed, vanished or timed out.
+func (c *Campaign) WorkerRetry() {
+	if c == nil {
+		return
+	}
+	c.workerRetry.Inc()
+}
+
+// RangeQuarantined records one plan range abandoned after exhausting
+// its lease attempts; every row in it is counted dangerous-undetected.
+func (c *Campaign) RangeQuarantined() {
+	if c == nil {
+		return
+	}
+	c.rangesQuar.Inc()
+}
+
+// WorkerJoined moves the workers_active gauge up when a worker
+// completes its hello handshake.
+func (c *Campaign) WorkerJoined() {
+	if c == nil {
+		return
+	}
+	c.distWorkers.Add(1)
+}
+
+// WorkerLeft moves the workers_active gauge down when a worker
+// disconnects or is declared dead.
+func (c *Campaign) WorkerLeft() {
+	if c == nil {
+		return
+	}
+	c.distWorkers.Add(-1)
 }
 
 // Summary emits the end-of-campaign journal event from the live

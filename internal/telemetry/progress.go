@@ -23,6 +23,14 @@ type Snapshot struct {
 	SimCycles   int64 `json:"sim_cycles"`
 	Faults      int64 `json:"faults_simulated"`
 
+	// Distributed-campaign scheduling (internal/dist); all zero for
+	// single-process runs.
+	LeasesIssued      int64 `json:"leases_issued"`
+	LeasesExpired     int64 `json:"leases_expired"`
+	WorkerRetries     int64 `json:"worker_retries"`
+	RangesQuarantined int64 `json:"ranges_quarantined"`
+	WorkersActive     int64 `json:"workers_active"`
+
 	// Outcomes maps outcome labels to counts (sorted keys on render).
 	Outcomes map[string]int64 `json:"outcomes"`
 
@@ -54,8 +62,15 @@ func (c *Campaign) Snapshot() Snapshot {
 		Checkpoints: c.ckptWrites.Load(),
 		SimCycles:   c.simCycles.Load(),
 		Faults:      c.faultsDone.Load(),
-		Outcomes:    map[string]int64{},
-		ETASec:      -1,
+
+		LeasesIssued:      c.leasesOut.Load(),
+		LeasesExpired:     c.leasesExp.Load(),
+		WorkerRetries:     c.workerRetry.Load(),
+		RangesQuarantined: c.rangesQuar.Load(),
+		WorkersActive:     c.distWorkers.Load(),
+
+		Outcomes: map[string]int64{},
+		ETASec:   -1,
 	}
 	c.mu.Lock()
 	for name, ctr := range c.outcomes { //det:order copying into a map
@@ -97,6 +112,10 @@ func (s Snapshot) Line() string {
 		line += fmt.Sprintf(" | workers %d/%d busy", s.InFlight, s.Workers)
 	}
 	line += fmt.Sprintf(" | retries %d quarantined %d ckpts %d", s.Retries, s.Quarantined, s.Checkpoints)
+	if s.LeasesIssued > 0 {
+		line += fmt.Sprintf(" | leases %d (expired %d, retries %d, quarantined %d) dist-workers %d",
+			s.LeasesIssued, s.LeasesExpired, s.WorkerRetries, s.RangesQuarantined, s.WorkersActive)
+	}
 	if len(s.Outcomes) > 0 {
 		names := make([]string, 0, len(s.Outcomes))
 		for name := range s.Outcomes { //det:order collecting before sort
