@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure reproduced from the
-// paper's evaluation (experiments E1–E20 of DESIGN.md). Each benchmark
+// paper's evaluation (experiments E1–E23 of DESIGN.md). Each benchmark
 // reports its headline quantities as custom metrics and prints the
 // paper-vs-measured row once, so
 //
@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"path/filepath"
 	"reflect"
 	"runtime"
@@ -949,6 +950,95 @@ func BenchmarkE20_CompiledLanes(b *testing.B) {
 		})
 	}
 	b.ReportMetric(speedup, "speedup")
+}
+
+// ---------- E23: span-tracing overhead and neutrality — the campaign
+// runs once bare and once with a live tracer journaling every span
+// (campaign root, golden, batch, exp, checkpoint) to a discarded sink
+// under the wall clock; the report must stay identical and the wall
+// cost within noise (<2%), so tracing can stay on in production fleets. ----------
+
+func BenchmarkE23_TracingOverhead(b *testing.B) {
+	c2 := campaign(b, true)
+	plan := inject.BuildPlan(c2.an, c2.golden, inject.PlanConfig{TransientPerZone: 2, PermanentPerZone: 1, Seed: 1})
+	plan = append(plan, inject.WidePlan(c2.an, c2.golden, 12, 2)...)
+
+	// A fresh traced hub per run: journal to io.Discard under the wall
+	// clock, root span set so every campaign span lands in the journal.
+	tracedHub := func() (*telemetry.Campaign, func()) {
+		j := telemetry.NewJournal(io.Discard, telemetry.SystemClock)
+		tel := telemetry.NewCampaign(nil, nil)
+		tel.Tracer = telemetry.NewTracer(j, "bench", telemetry.TraceID("e23"))
+		root := tel.StartSpan("campaign")
+		tel.SetTraceRoot(root)
+		return tel, func() {
+			root.End()
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	runWith := func(tel *telemetry.Campaign) *inject.Report {
+		tgt := *c2.target // never mutate the shared cached fixture
+		tgt.Telemetry = tel
+		rep, err := tgt.Run(c2.golden, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	// Warm both paths, check neutrality, then time alternating rounds so
+	// the comparison shares cache and GC state (the E18 protocol).
+	ref := runWith(nil)
+	{
+		tel, done := tracedHub()
+		if rep := runWith(tel); !reflect.DeepEqual(ref, rep) {
+			b.Fatal("traced report differs from bare report")
+		}
+		done()
+	}
+	const rounds = 5
+	bareSec, tracedSec := 0.0, 0.0
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		runWith(nil)
+		bareSec += time.Since(start).Seconds()
+		tel, done := tracedHub()
+		start = time.Now()
+		runWith(tel)
+		tracedSec += time.Since(start).Seconds()
+		done()
+	}
+	bareSec /= rounds
+	tracedSec /= rounds
+	overheadPct := 100 * (tracedSec - bareSec) / bareSec
+	once("E23", func() {
+		fmt.Printf("\n[E23] span tracing overhead (journal to discarded sink, wall clock):\n")
+		fmt.Printf("[E23] bare %.3fs vs traced %.3fs per campaign — overhead %+.2f%% (target <2%%)\n",
+			bareSec, tracedSec, overheadPct)
+	})
+	for _, mode := range []struct {
+		name   string
+		traced bool
+	}{
+		{"tracing=off", false},
+		{"tracing=on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if mode.traced {
+					tel, done := tracedHub()
+					runWith(tel)
+					done()
+				} else {
+					runWith(nil)
+				}
+			}
+			perExp := b.Elapsed().Seconds() / float64(b.N*len(plan))
+			b.ReportMetric(1/perExp, "exp/s")
+		})
+	}
+	b.ReportMetric(overheadPct, "overhead%")
 }
 
 // ---------- X1 (extension): the fault-robust microcontroller direction —

@@ -90,6 +90,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	journalPath := fs.String("journal", "", "write the JSONL campaign journal to this file")
 	progressEvery := fs.Duration("progress", 0, "print periodic campaign progress to stderr at this interval (0 = off)")
 	statusAddr := fs.String("status", "", "serve expvar + pprof + /progress on this address")
+	tracePath := fs.String("trace", "", "write the coordinator's JSONL span journal to this file; spawned workers write <file>.spawnN (analyze with cmd/tracer)")
+	adaptive := fs.Bool("adaptive", false, "latency-driven lease sizing: split pending ranges so one lease carries about -lease-target of work (results are identical)")
+	leaseTarget := fs.Duration("lease-target", 0, "target wall time per lease for -adaptive (0 = lease-ttl/4)")
+	minRange := fs.Int("min-range", 0, "smallest range -adaptive may split down to (0 = 4)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -126,12 +130,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usageErr("experiment counts must be >= 0")
 	case *progressEvery < 0:
 		return usageErr("-progress must be >= 0, got %v", *progressEvery)
+	case *leaseTarget < 0:
+		return usageErr("-lease-target must be >= 0, got %v", *leaseTarget)
+	case *minRange < 0:
+		return usageErr("-min-range must be >= 0, got %d", *minRange)
 	case *design != "v1" && *design != "v2":
 		return usageErr("unknown design %q", *design)
 	}
 
+	sp := dist.Spec{
+		Design:    *design,
+		AddrWidth: *addrWidth,
+		Words:     *words,
+		Transient: *transient,
+		Permanent: *permanent,
+		Wide:      *wide,
+		Seed:      *seed,
+		Warmstart: *warmstart,
+	}
+
 	var tel *telemetry.Campaign
-	if *journalPath != "" || *progressEvery > 0 || *statusAddr != "" {
+	if *journalPath != "" || *progressEvery > 0 || *statusAddr != "" || *tracePath != "" {
 		var journal *telemetry.Journal
 		if *journalPath != "" {
 			var err error
@@ -142,6 +161,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		tel = telemetry.NewCampaign(journal, telemetry.SystemClock)
+		if *tracePath != "" {
+			spans, err := telemetry.OpenJournal(*tracePath, telemetry.SystemClock)
+			if err != nil {
+				lg.Print(err)
+				return 1
+			}
+			// Spec-derived trace id: workers derive the same id locally
+			// and every lease message carries it, so the fleet's span
+			// journals merge into one trace under cmd/tracer.
+			tel.Tracer = telemetry.NewTracer(spans, "coordinator", sp.TraceID())
+			root := tel.StartSpan("dist-campaign")
+			tel.SetTraceRoot(root)
+			defer func() {
+				tel.PhaseDone()
+				root.End()
+				if err := spans.Close(); err != nil {
+					lg.Printf("trace: %v", err)
+				}
+			}()
+		}
 		if *statusAddr != "" {
 			srv, err := telemetry.ServeStatus(*statusAddr, tel)
 			if err != nil {
@@ -166,16 +205,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	sp := dist.Spec{
-		Design:    *design,
-		AddrWidth: *addrWidth,
-		Words:     *words,
-		Transient: *transient,
-		Permanent: *permanent,
-		Wide:      *wide,
-		Seed:      *seed,
-		Warmstart: *warmstart,
-	}
 	c, err := sp.Build()
 	if err != nil {
 		return fatal(err)
@@ -197,6 +226,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BackoffCap:  *backoffCap,
 		Clock:       time.Now,
 		Telemetry:   tel,
+		Adaptive:    *adaptive,
+		TargetLease: *leaseTarget,
+		MinRange:    *minRange,
 		Logf:        lg.Printf,
 	}
 	if *local {
@@ -237,7 +269,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	for i := 0; i < *spawn; i++ {
-		if err := spawnWorker(coord, *workerBin, sp, i, &conns, stderr, lg); err != nil {
+		if err := spawnWorker(coord, *workerBin, sp, i, *tracePath, &conns, stderr, lg); err != nil {
 			return fatal(err)
 		}
 	}
@@ -309,9 +341,11 @@ func waitTimeout(wg *sync.WaitGroup, d time.Duration) {
 
 // spawnWorker launches one "injector worker -stdio" subprocess with
 // spec flags matching the coordinator's and serves the protocol over
-// its pipes. The subprocess's stderr is passed through.
-func spawnWorker(coord *dist.Coordinator, bin string, sp dist.Spec, i int, conns *sync.WaitGroup, stderr io.Writer, lg *log.Logger) error {
-	cmd := exec.Command(bin, "worker", "-stdio",
+// its pipes. The subprocess's stderr is passed through. When the
+// coordinator traces, each spawned worker writes its span journal next
+// to the coordinator's as <trace>.spawnN.
+func spawnWorker(coord *dist.Coordinator, bin string, sp dist.Spec, i int, tracePath string, conns *sync.WaitGroup, stderr io.Writer, lg *log.Logger) error {
+	argv := []string{"worker", "-stdio",
 		"-name", fmt.Sprintf("spawn%d", i),
 		"-design", sp.Design,
 		"-addr", strconv.Itoa(sp.AddrWidth),
@@ -321,7 +355,11 @@ func spawnWorker(coord *dist.Coordinator, bin string, sp dist.Spec, i int, conns
 		"-wide", strconv.Itoa(sp.Wide),
 		"-seed", strconv.FormatUint(sp.Seed, 10),
 		"-warmstart", strconv.Itoa(sp.Warmstart),
-	)
+	}
+	if tracePath != "" {
+		argv = append(argv, "-trace", fmt.Sprintf("%s.spawn%d", tracePath, i))
+	}
+	cmd := exec.Command(bin, argv...)
 	cmd.Stderr = stderr
 	stdin, err := cmd.StdinPipe()
 	if err != nil {

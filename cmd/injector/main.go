@@ -54,6 +54,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/internal/dist"
@@ -126,6 +127,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	journalPath := fs.String("journal", "", "write the JSONL campaign journal (lifecycle events) to this file")
 	progressEvery := fs.Duration("progress", 0, "print periodic campaign progress to stderr at this interval (0 = off)")
 	statusAddr := fs.String("status", "", "serve expvar + pprof + /progress on this address (a bare \":port\" binds 127.0.0.1)")
+	tracePath := fs.String("trace", "", "write the JSONL span journal (campaign/phase/exp/batch spans) to this file; analyze with cmd/tracer")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0 // asking for the manual is not a usage error
@@ -166,7 +168,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	// stderr, status over HTTP — so the stdout report bytes never
 	// depend on it.
 	var tel *telemetry.Campaign
-	if *journalPath != "" || *progressEvery > 0 || *statusAddr != "" {
+	if *journalPath != "" || *progressEvery > 0 || *statusAddr != "" || *tracePath != "" {
 		var journal *telemetry.Journal
 		if *journalPath != "" {
 			var err error
@@ -177,6 +179,30 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		tel = telemetry.NewCampaign(journal, telemetry.SystemClock)
+		if *tracePath != "" {
+			spans, err := telemetry.OpenJournal(*tracePath, telemetry.SystemClock)
+			if err != nil {
+				lg.Print(err)
+				return 1
+			}
+			// The trace id is a pure function of the campaign spec, so
+			// re-running the same campaign yields the same trace id and
+			// journals from repeated runs can be told apart by file, not
+			// by accident of process identity.
+			tel.Tracer = telemetry.NewTracer(spans, "injector", telemetry.TraceID(
+				"injector", *design, strconv.Itoa(*addrWidth), strconv.Itoa(*words),
+				strconv.Itoa(*transient), strconv.Itoa(*permanent), strconv.Itoa(*wide),
+				strconv.FormatUint(*seed, 10)))
+			root := tel.StartSpan("campaign")
+			tel.SetTraceRoot(root)
+			defer func() {
+				tel.PhaseDone()
+				root.End()
+				if err := spans.Close(); err != nil {
+					lg.Printf("trace: %v", err)
+				}
+			}()
+		}
 		if *statusAddr != "" {
 			srv, err := telemetry.ServeStatus(*statusAddr, tel)
 			if err != nil {
@@ -338,6 +364,7 @@ func runWorker(args []string, stderr io.Writer) int {
 	cycleBudget := fs.Int("exp-cycle-budget", 0, "max simulated cycles per experiment (0 = unlimited)")
 	expTimeout := fs.Duration("exp-timeout", 0, "max wall-clock per experiment (0 = unlimited)")
 	retries := fs.Int("retries", 0, "retry a failing experiment up to N more times before quarantining it")
+	tracePath := fs.String("trace", "", "write the JSONL span journal to this file; lease spans parent under the coordinator's trace (analyze with cmd/tracer)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -371,7 +398,7 @@ func runWorker(args []string, stderr io.Writer) int {
 		*name = fmt.Sprintf("pid%d", os.Getpid())
 	}
 
-	c, err := dist.Spec{
+	spec := dist.Spec{
 		Design:    *design,
 		AddrWidth: *addrWidth,
 		Words:     *words,
@@ -380,7 +407,8 @@ func runWorker(args []string, stderr io.Writer) int {
 		Wide:      *wide,
 		Seed:      *seed,
 		Warmstart: *warmstart,
-	}.Build()
+	}
+	c, err := spec.Build()
 	if err != nil {
 		lg.Print(err)
 		return 1
@@ -393,6 +421,33 @@ func runWorker(args []string, stderr io.Writer) int {
 		Clock:       time.Now,
 		Retries:     *retries,
 		Quarantine:  true,
+	}
+
+	// Tracing: one hub shared between the protocol loop and the
+	// injection target, so each leased range's experiment and batch
+	// spans nest under the worker-lease span, which in turn parents —
+	// across the wire — under the coordinator's lease span. The trace
+	// id is seeded from the spec (every process in one campaign derives
+	// the same id) and confirmed from the first lease message.
+	var tel *telemetry.Campaign
+	if *tracePath != "" {
+		spans, err := telemetry.OpenJournal(*tracePath, telemetry.SystemClock)
+		if err != nil {
+			lg.Print(err)
+			return 1
+		}
+		tel = telemetry.NewCampaign(nil, telemetry.SystemClock)
+		tel.Tracer = telemetry.NewTracer(spans, *name, spec.TraceID())
+		root := tel.StartSpan("worker")
+		tel.SetTraceRoot(root)
+		defer func() {
+			tel.PhaseDone()
+			root.End()
+			if err := spans.Close(); err != nil {
+				lg.Printf("trace: %v", err)
+			}
+		}()
+		c.Target.Telemetry = tel
 	}
 
 	var rw io.ReadWriteCloser
@@ -414,6 +469,7 @@ func runWorker(args []string, stderr io.Writer) int {
 		Plan:      c.Plan,
 		Workers:   *workers,
 		Heartbeat: *heartbeat,
+		Telemetry: tel,
 		Logf:      lg.Printf,
 	})
 	if err != nil {

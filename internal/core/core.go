@@ -145,6 +145,19 @@ func (as *Assessment) CampaignHealthy() bool {
 // Run executes the flow over a DUT.
 func Run(dut DUT, opts Options) (*Assessment, error) {
 	tel := opts.Telemetry
+	// With tracing live, the whole assessment runs under one span so
+	// the per-phase spans (and everything below them) nest under it;
+	// the previous trace root — the CLI's campaign span — is restored
+	// on the way out.
+	if asp := tel.StartSpan("assessment"); asp.Valid() {
+		prev := tel.TraceRoot()
+		tel.SetTraceRoot(asp)
+		defer func() {
+			tel.PhaseDone()
+			tel.SetTraceRoot(prev)
+			asp.End()
+		}()
+	}
 	tel.Phase("zone-extraction")
 	a, err := dut.Analyze()
 	if err != nil {

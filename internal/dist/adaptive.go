@@ -1,0 +1,108 @@
+package dist
+
+import "time"
+
+// Latency-driven adaptive lease sizing.
+//
+// The coordinator watches how long live leases take per plan row and,
+// when Config.Adaptive is on, splits oversized pending ranges at issue
+// time so one lease carries roughly Config.TargetLease of work. Two
+// estimators run over the completed-lease stream:
+//
+//   - ewmaRow: a plain EWMA of per-row latency — the fleet's typical
+//     speed.
+//   - tailRow: a fast-up / slow-decay envelope — it jumps to any
+//     per-row latency above it immediately and decays toward the EWMA
+//     otherwise. Sizing divides TargetLease by the tail, so one
+//     straggler shrinks subsequent leases at once (bounding how much
+//     work the next slow lease can strand), while recovery is gradual.
+//
+// Everything here mutates only scheduling state under the coordinator
+// lock and reads time exclusively through Config.Clock, so the sizing
+// sequence is a deterministic function of the lease completion order —
+// and since splits keep ranges disjoint, sorted and plan-covering,
+// Result()'s in-order merge (and therefore the report bytes) is
+// provably unaffected. The neutrality matrix pins this.
+
+const (
+	// adaptiveAlpha is the EWMA weight of the newest observation.
+	adaptiveAlpha = 0.25
+	// adaptiveTailDecay pulls the tail envelope toward the EWMA when a
+	// lease comes in under it (slow recovery vs instant growth).
+	adaptiveTailDecay = 0.125
+)
+
+// observeLeaseLocked folds one live-lease completion (rows rows in d)
+// into the latency estimators and the telemetry histograms. Called for
+// worker and local leases alike, whether or not Adaptive is on — the
+// histograms back /metrics and cmd/tracer's straggler report even when
+// sizing is fixed.
+func (c *Coordinator) observeLeaseLocked(rows int, d time.Duration) {
+	c.cfg.Telemetry.RangeDone(rows, d)
+	if rows <= 0 || d < 0 {
+		return
+	}
+	perRow := float64(d) / float64(rows)
+	if c.nObs == 0 {
+		c.ewmaRow = perRow
+		c.tailRow = perRow
+	} else {
+		c.ewmaRow += adaptiveAlpha * (perRow - c.ewmaRow)
+		if perRow > c.tailRow {
+			c.tailRow = perRow
+		} else {
+			c.tailRow += adaptiveTailDecay * (c.ewmaRow - c.tailRow)
+		}
+	}
+	c.nObs++
+}
+
+// desiredRowsLocked returns the row count adaptive sizing wants for
+// the next lease: TargetLease divided by the tail per-row latency,
+// clamped to [MinRange, RangeSize]. Before any observation (or with
+// Adaptive off) it returns RangeSize — the fixed pre-split size.
+func (c *Coordinator) desiredRowsLocked() int {
+	if !c.cfg.Adaptive || c.nObs == 0 || c.tailRow <= 0 {
+		return c.cfg.RangeSize
+	}
+	rows := int(float64(c.cfg.TargetLease) / c.tailRow)
+	if rows < c.cfg.MinRange {
+		rows = c.cfg.MinRange
+	}
+	if rows > c.cfg.RangeSize {
+		rows = c.cfg.RangeSize
+	}
+	return rows
+}
+
+// splitForIssueLocked prepares ranges[ri] for issue: when adaptive
+// sizing wants fewer rows than the range holds, the range is split in
+// place — ranges[ri] keeps [lo, lo+rows) and a new pending range
+// [lo+rows, hi) is inserted right after it, inheriting the attempt
+// count, backoff stamp and last error (the remainder rode along on
+// every failed attempt, so it does not get a fresh budget). The slice
+// stays sorted by lo with disjoint ranges covering the plan, which is
+// the invariant Result()'s in-order merge rests on. Returns the range
+// to lease.
+func (c *Coordinator) splitForIssueLocked(ri int) *planRange {
+	r := c.ranges[ri]
+	rows := c.desiredRowsLocked()
+	if r.hi-r.lo <= rows {
+		return r
+	}
+	rest := &planRange{
+		lo:        r.lo + rows,
+		hi:        r.hi,
+		attempts:  r.attempts,
+		notBefore: r.notBefore,
+		lastErr:   r.lastErr,
+	}
+	r.hi = rest.lo
+	c.ranges = append(c.ranges, nil)
+	copy(c.ranges[ri+2:], c.ranges[ri+1:])
+	c.ranges[ri+1] = rest
+	c.remaining++
+	c.logf("adaptive: split range at %d: [%d,%d) + [%d,%d) (tail %.3gms/row)",
+		rest.lo, r.lo, r.hi, rest.lo, rest.hi, c.tailRow/1e6)
+	return r
+}

@@ -1,0 +1,177 @@
+package dist_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/inject"
+	"repro/internal/telemetry"
+)
+
+// runScripted drives one coordinator over the wire with a scripted
+// per-lease latency schedule — the first lease is a straggler, every
+// later lease is fast — and returns the granted lease bounds in grant
+// order plus the merged report bytes. The fake clock makes the
+// observed durations (and therefore the whole sizing sequence) a pure
+// function of the script.
+func runScripted(t *testing.T, c campaign, adaptive bool, tel *telemetry.Campaign) ([]string, []byte) {
+	t.Helper()
+	clk := newFakeClock()
+	coord, err := dist.New(dist.Config{
+		Plan:        c.plan,
+		RangeSize:   16,
+		LeaseTTL:    time.Hour,
+		MaxAttempts: 5,
+		BackoffBase: time.Nanosecond,
+		Clock:       clk.Now,
+		Telemetry:   tel,
+		Adaptive:    adaptive,
+		TargetLease: 100 * time.Millisecond,
+		MinRange:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go coord.Serve(server)
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("scripted", c.plan)); err != nil {
+		t.Fatal(err)
+	}
+
+	var grants []string
+	for i := 0; ; i++ {
+		m, err := wc.Read()
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if m.T == dist.MsgFin {
+			break
+		}
+		if m.T != dist.MsgLease {
+			t.Fatalf("lease %d: got %q, want a lease", i, m.T)
+		}
+		grants = append(grants, fmt.Sprintf("[%d,%d)", m.Lo, m.Hi))
+		// The straggler: 100ms per row on the first lease. Everything
+		// after runs at 0.5ms per row.
+		d := time.Duration(m.Hi-m.Lo) * 500 * time.Microsecond
+		if i == 0 {
+			d = time.Duration(m.Hi-m.Lo) * 100 * time.Millisecond
+		}
+		clk.Advance(d)
+		ck, err := c.target.RunRange(c.golden, c.plan, 2, m.Lo, m.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wc.Write(&dist.Msg{
+			T: dist.MsgResult, Lease: m.Lease,
+			Ckpt: inject.EncodeCheckpoint(ck, c.plan),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-coord.Done()
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.target.AssembleReport(c.plan, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grants, renderReport(rep, c)
+}
+
+// width parses the row count out of a "[lo,hi)" grant.
+func width(t *testing.T, grant string) int {
+	t.Helper()
+	var lo, hi int
+	if _, err := fmt.Sscanf(grant, "[%d,%d)", &lo, &hi); err != nil {
+		t.Fatalf("bad grant %q: %v", grant, err)
+	}
+	return hi - lo
+}
+
+// TestAdaptiveShrinksUnderStraggler: after one straggler lease blows
+// the tail estimate past TargetLease/MinRange, every subsequent lease
+// must be split down to MinRange — bounding how much work the next
+// slow lease can strand — while the merged report stays byte-identical
+// to the serial reference (splits preserve the sorted, disjoint,
+// plan-covering range invariant the in-order merge rests on).
+func TestAdaptiveShrinksUnderStraggler(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	refBytes := renderReport(serialReference(t, c), c)
+
+	grants, got := runScripted(t, c, true, nil)
+	if len(grants) < 3 {
+		t.Fatalf("campaign finished in %d leases; plan too small to exercise splitting", len(grants))
+	}
+	if w := width(t, grants[0]); w != 16 {
+		t.Fatalf("first lease %s has %d rows, want the fixed pre-observation size 16", grants[0], w)
+	}
+	for i, g := range grants[1:] {
+		if w := width(t, g); w > 2 {
+			t.Fatalf("post-straggler lease %d (%s) has %d rows, want <= MinRange 2", i+1, g, w)
+		}
+	}
+	if !bytes.Equal(got, refBytes) {
+		t.Fatal("adaptive report bytes differ from the serial reference")
+	}
+}
+
+// TestAdaptiveDeterministicAndNeutral: with the same completion order
+// the sizing sequence must replay exactly (same grants, same bytes),
+// and turning Adaptive off over the same script — different lease
+// schedule entirely — must still merge to the same report bytes.
+func TestAdaptiveDeterministicAndNeutral(t *testing.T) {
+	c := buildCampaign(t, "v2")
+
+	g1, b1 := runScripted(t, c, true, nil)
+	g2, b2 := runScripted(t, c, true, nil)
+	if fmt.Sprint(g1) != fmt.Sprint(g2) {
+		t.Fatalf("lease sizing sequence is not deterministic:\nrun 1: %v\nrun 2: %v", g1, g2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("adaptive report bytes differ between identical runs")
+	}
+
+	gOff, bOff := runScripted(t, c, false, nil)
+	for i, g := range gOff {
+		if w := width(t, g); w > 16 {
+			t.Fatalf("fixed-size lease %d (%s) wider than RangeSize", i, g)
+		}
+	}
+	if len(gOff) >= len(g1) {
+		t.Fatalf("adaptive sizing issued %d leases vs %d fixed — splitting never engaged", len(g1), len(gOff))
+	}
+	if !bytes.Equal(b1, bOff) {
+		t.Fatal("report bytes differ between adaptive on and off")
+	}
+}
+
+// TestAdaptiveHistogramsAlwaysLive: the range-duration and range-rows
+// histograms feed /metrics and cmd/tracer's straggler report, so they
+// must populate from live-lease completions even with Adaptive off.
+func TestAdaptiveHistogramsAlwaysLive(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	tel := telemetry.NewCampaign(nil, nil)
+	grants, _ := runScripted(t, c, false, tel)
+
+	reg := tel.Registry.Snapshot()
+	for _, name := range []string{"range_duration_ms", "range_rows"} {
+		h, ok := reg.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %s not registered", name)
+		}
+		if h.Count != int64(len(grants)) {
+			t.Fatalf("%s count = %d, want one observation per live lease (%d)", name, h.Count, len(grants))
+		}
+	}
+	if h := reg.Histograms["range_rows"]; h.Sum != int64(len(c.plan)) {
+		t.Fatalf("range_rows sum = %d, want plan length %d", h.Sum, len(c.plan))
+	}
+}

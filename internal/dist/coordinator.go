@@ -34,6 +34,20 @@ type Config struct {
 	// the package never samples the wall clock itself, so lease
 	// scheduling is fully testable with a fake clock.
 	Clock func() time.Time
+	// Adaptive enables latency-driven lease sizing (off by default):
+	// the coordinator tracks an EWMA and a fast-up/slow-down tail of
+	// per-row lease latency over completed leases and splits oversized
+	// pending ranges at issue time so one lease targets ~TargetLease of
+	// work. Scheduling only — ranges stay disjoint, plan-ordered and
+	// merge-identical, so the report bytes cannot change (asserted by
+	// the neutrality matrix).
+	Adaptive bool
+	// TargetLease is the wall-clock amount of work adaptive sizing aims
+	// to put under one lease (<= 0: LeaseTTL/4).
+	TargetLease time.Duration
+	// MinRange floors adaptive range sizes so pathological tails cannot
+	// shatter the plan into single-row leases (<= 0: 4).
+	MinRange int
 	// Telemetry receives lease/worker counters (nil = off).
 	Telemetry *telemetry.Campaign
 	// LocalRunner, when set, lets the coordinator execute a range in
@@ -68,6 +82,9 @@ type planRange struct {
 	worker    int64     // worker holding the lease (0 = local runner)
 	deadline  time.Time // lease expiry, refreshed by heartbeats
 	result    []byte    // canonical checkpoint bytes once done
+
+	issuedAt time.Time      // when the live lease was granted
+	span     telemetry.Span // the live lease's span (cleared on end)
 }
 
 // workerConn is one connected worker. Messages to it go through a
@@ -93,8 +110,10 @@ type Coordinator struct {
 	// leaseRange maps every lease ever issued to its range, including
 	// revoked ones — a late result from a revoked lease must still
 	// resolve so it can be byte-verified against the winning attempt
-	// instead of silently dropped.
-	leaseRange map[int64]int
+	// instead of silently dropped. It holds the *planRange itself, not
+	// an index: adaptive splitting inserts ranges mid-slice, so indices
+	// are not stable across a lease's lifetime.
+	leaseRange map[int64]*planRange
 	workers    []*workerConn
 	nextWorker int64
 	nextLease  int64
@@ -102,6 +121,15 @@ type Coordinator struct {
 	failed     error
 	finished   bool
 	localBusy  bool
+
+	// Adaptive lease sizing state (see adaptive.go): per-row latency
+	// EWMA, the fast-up/slow-decay tail estimate, and the number of
+	// live-lease completions observed. Pure functions of the lease
+	// completion order, so a fake clock makes sizing fully
+	// deterministic.
+	ewmaRow float64
+	tailRow float64
+	nObs    int
 
 	done chan struct{}
 }
@@ -128,10 +156,19 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = 10 * time.Second
 	}
+	if cfg.TargetLease <= 0 {
+		cfg.TargetLease = cfg.LeaseTTL / 4
+	}
+	if cfg.MinRange <= 0 {
+		cfg.MinRange = 4
+	}
+	if cfg.MinRange > cfg.RangeSize {
+		cfg.MinRange = cfg.RangeSize
+	}
 	c := &Coordinator{
 		cfg:        cfg,
 		planHash:   fmt.Sprintf("%016x", inject.PlanHash(cfg.Plan)),
-		leaseRange: map[int64]int{},
+		leaseRange: map[int64]*planRange{},
 		done:       make(chan struct{}),
 	}
 	for lo := 0; lo < len(cfg.Plan); lo += cfg.RangeSize {
@@ -275,22 +312,53 @@ func (c *Coordinator) assignLocked(w *workerConn, now time.Time) {
 	if ri < 0 {
 		return
 	}
-	r := c.ranges[ri]
+	r := c.splitForIssueLocked(ri)
 	c.nextLease++
 	r.status = rangeLeased
 	r.lease = c.nextLease
 	r.worker = w.id
 	r.deadline = now.Add(c.cfg.LeaseTTL)
-	c.leaseRange[r.lease] = ri
+	r.issuedAt = now
+	c.leaseRange[r.lease] = r
 	c.cfg.Telemetry.LeaseIssued()
+	c.startLeaseSpanLocked(r, w.id)
 	c.logf("lease %d: range [%d,%d) -> worker %q (attempt %d)", r.lease, r.lo, r.hi, w.name, r.attempts+1)
-	c.sendLocked(w, &Msg{
+	m := &Msg{
 		T:     MsgLease,
 		Lease: r.lease,
 		Lo:    r.lo,
 		Hi:    r.hi,
 		TTLMs: c.cfg.LeaseTTL.Milliseconds(),
+		Span:  r.span.ID(),
+	}
+	m.Trace, _ = c.cfg.Telemetry.TraceContext()
+	c.sendLocked(w, m)
+}
+
+// startLeaseSpanLocked opens the lease's span (no-op without a
+// tracer), recording the lease id, bounds, holder and attempt number.
+func (c *Coordinator) startLeaseSpanLocked(r *planRange, worker int64) {
+	if _, ok := c.cfg.Telemetry.TraceContext(); !ok {
+		return
+	}
+	lease, lo, hi, attempt := r.lease, r.lo, r.hi, r.attempts+1
+	r.span = c.cfg.Telemetry.StartSpanAttrs("lease", func(e *telemetry.Enc) {
+		e.Int("lease", lease)
+		e.Int("lo", int64(lo))
+		e.Int("hi", int64(hi))
+		e.Int("worker", worker)
+		e.Int("attempt", int64(attempt))
 	})
+}
+
+// endLeaseSpanLocked closes the range's live lease span exactly once:
+// the span is cleared so a later completion of the same range (a
+// duplicate, or a revoke racing a result) cannot double-close it.
+func (c *Coordinator) endLeaseSpanLocked(r *planRange, outcome string) {
+	if r.span.Valid() {
+		r.span.EndOutcome(outcome)
+		r.span = telemetry.Span{}
+	}
 }
 
 // runnableLocked returns the lowest-index pending range whose backoff
@@ -329,11 +397,10 @@ func (c *Coordinator) liveWorkersLocked() int {
 func (c *Coordinator) heartbeat(lease int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ri, ok := c.leaseRange[lease]
+	r, ok := c.leaseRange[lease]
 	if !ok {
 		return
 	}
-	r := c.ranges[ri]
 	if r.status == rangeLeased && r.lease == lease {
 		r.deadline = c.cfg.Clock().Add(c.cfg.LeaseTTL)
 	}
@@ -348,11 +415,10 @@ func (c *Coordinator) heartbeat(lease int64) {
 func (c *Coordinator) result(w *workerConn, m *Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ri, ok := c.leaseRange[m.Lease]
+	r, ok := c.leaseRange[m.Lease]
 	if !ok {
 		return // lease id we never issued: bogus peer, drop
 	}
-	r := c.ranges[ri]
 	switch r.status {
 	case rangeDone:
 		// At-least-once execution: a revoked-then-re-issued lease can
@@ -374,11 +440,19 @@ func (c *Coordinator) result(w *workerConn, m *Msg) {
 			c.logf("worker %q returned bad result for range [%d,%d): %v", w.name, r.lo, r.hi, err)
 			if r.status == rangeLeased && r.lease == m.Lease {
 				c.cfg.Telemetry.WorkerRetry()
-				c.requeueLocked(ri, err.Error())
+				c.endLeaseSpanLocked(r, "failed")
+				c.requeueLocked(r, err.Error())
 			}
 			c.assignLocked(w, c.cfg.Clock())
 			return
 		}
+		// Latency is only meaningful when the completing lease is the
+		// live one — a late result from a revoked lease measures a
+		// worker that already blew its TTL, not current fleet speed.
+		if r.status == rangeLeased && r.lease == m.Lease {
+			c.observeLeaseLocked(r.hi-r.lo, c.cfg.Clock().Sub(r.issuedAt))
+		}
+		c.endLeaseSpanLocked(r, "done")
 		r.status = rangeDone
 		r.result = m.Ckpt
 		r.lastErr = ""
@@ -424,17 +498,17 @@ func (c *Coordinator) validateResultLocked(r *planRange, ckpt []byte) error {
 func (c *Coordinator) fail(w *workerConn, m *Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ri, ok := c.leaseRange[m.Lease]
+	r, ok := c.leaseRange[m.Lease]
 	if !ok {
 		return
 	}
-	r := c.ranges[ri]
 	if r.status != rangeLeased || r.lease != m.Lease {
 		return // stale failure report for a lease already revoked
 	}
 	c.logf("worker %q failed lease %d on range [%d,%d): %s", w.name, m.Lease, r.lo, r.hi, m.Err)
 	c.cfg.Telemetry.WorkerRetry()
-	c.requeueLocked(ri, m.Err)
+	c.endLeaseSpanLocked(r, "failed")
+	c.requeueLocked(r, m.Err)
 	c.assignLocked(w, c.cfg.Clock())
 }
 
@@ -454,10 +528,11 @@ func (c *Coordinator) disconnect(w *workerConn) {
 	}
 	c.cfg.Telemetry.WorkerLeft()
 	c.logf("worker %q left", w.name)
-	for ri, r := range c.ranges {
+	for _, r := range c.ranges {
 		if r.status == rangeLeased && r.worker == w.id {
 			c.cfg.Telemetry.WorkerRetry()
-			c.requeueLocked(ri, "worker disconnected")
+			c.endLeaseSpanLocked(r, "failed")
+			c.requeueLocked(r, "worker disconnected")
 		}
 	}
 	c.reassignIdleLocked(c.cfg.Clock())
@@ -469,8 +544,8 @@ func (c *Coordinator) disconnect(w *workerConn) {
 // accounting, not data loss: Result synthesizes a dangerous-undetected
 // quarantine record for every row of the range, mirroring the per-
 // experiment semantics of the supervised runner.
-func (c *Coordinator) requeueLocked(ri int, errText string) {
-	r := c.ranges[ri]
+func (c *Coordinator) requeueLocked(r *planRange, errText string) {
+	c.endLeaseSpanLocked(r, "failed") // no-op when the caller already closed it
 	r.attempts++
 	r.lastErr = errText
 	r.lease = 0
@@ -515,12 +590,13 @@ func (c *Coordinator) Tick() {
 		c.mu.Unlock()
 		return
 	}
-	for ri, r := range c.ranges {
+	for _, r := range c.ranges {
 		if r.status == rangeLeased && r.worker != 0 && now.After(r.deadline) {
 			c.cfg.Telemetry.LeaseExpired()
 			c.cfg.Telemetry.WorkerRetry()
 			c.logf("lease %d on range [%d,%d) expired (worker #%d silent past TTL)", r.lease, r.lo, r.hi, r.worker)
-			c.requeueLocked(ri, "lease expired: no heartbeat within TTL")
+			c.endLeaseSpanLocked(r, "expired")
+			c.requeueLocked(r, "lease expired: no heartbeat within TTL")
 		}
 	}
 	if !c.finished {
@@ -551,16 +627,21 @@ func (c *Coordinator) runLocal() {
 			c.mu.Unlock()
 			return
 		}
-		r := c.ranges[ri]
+		// Hold the range by pointer across the unlock: adaptive splits
+		// can insert ranges mid-slice while the local runner is out, so
+		// slice indices are not stable (the pointer is).
+		r := c.splitForIssueLocked(ri)
 		c.nextLease++
 		lease := c.nextLease
 		r.status = rangeLeased
 		r.lease = lease
 		r.worker = 0 // local leases have no TTL: the runner is us
-		c.leaseRange[lease] = ri
+		r.issuedAt = now
+		c.leaseRange[lease] = r
 		c.localBusy = true
 		lo, hi := r.lo, r.hi
 		c.cfg.Telemetry.LeaseIssued()
+		c.startLeaseSpanLocked(r, 0)
 		c.logf("lease %d: range [%d,%d) -> local runner (no live workers)", lease, lo, hi)
 		c.mu.Unlock()
 
@@ -572,33 +653,38 @@ func (c *Coordinator) runLocal() {
 			c.mu.Unlock()
 			return
 		}
-		rr := c.ranges[ri]
 		switch {
 		case err != nil:
-			if rr.status == rangeLeased && rr.lease == lease {
+			if r.status == rangeLeased && r.lease == lease {
 				c.cfg.Telemetry.WorkerRetry()
-				c.requeueLocked(ri, "local: "+err.Error())
+				c.endLeaseSpanLocked(r, "failed")
+				c.requeueLocked(r, "local: "+err.Error())
 			}
-		case rr.status == rangeDone:
+		case r.status == rangeDone:
 			// A late worker result completed the range while we ran it
 			// locally: verify ours is byte-identical, as for any
 			// duplicate.
-			if !bytes.Equal(inject.EncodeCheckpoint(ck, c.cfg.Plan), rr.result) {
+			if !bytes.Equal(inject.EncodeCheckpoint(ck, c.cfg.Plan), r.result) {
 				c.failLocked(fmt.Errorf(
 					"dist: determinism violation: range [%d,%d) produced two different results (local lease %d)",
 					lo, hi, lease))
 			}
-		case rr.status == rangeQuarantined:
+		case r.status == rangeQuarantined:
 			// Quarantine is final; see result().
 		default:
 			enc := inject.EncodeCheckpoint(ck, c.cfg.Plan)
-			if verr := c.validateResultLocked(rr, enc); verr != nil {
+			if verr := c.validateResultLocked(r, enc); verr != nil {
 				c.cfg.Telemetry.WorkerRetry()
-				c.requeueLocked(ri, "local: "+verr.Error())
+				c.endLeaseSpanLocked(r, "failed")
+				c.requeueLocked(r, "local: "+verr.Error())
 			} else {
-				rr.status = rangeDone
-				rr.result = enc
-				rr.lastErr = ""
+				if r.status == rangeLeased && r.lease == lease {
+					c.observeLeaseLocked(hi-lo, c.cfg.Clock().Sub(r.issuedAt))
+				}
+				c.endLeaseSpanLocked(r, "done")
+				r.status = rangeDone
+				r.result = enc
+				r.lastErr = ""
 				c.remaining--
 				c.logf("range [%d,%d) done locally (%d remaining)", lo, hi, c.remaining)
 				if c.remaining == 0 {

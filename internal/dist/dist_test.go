@@ -138,8 +138,18 @@ type distOpts struct {
 	lanes     int  // simulation lanes inside each worker
 	collapse  bool // static pre-pass inside each worker
 	local     bool // coordinator local-fallback runner enabled
+	traced    bool // span journals on coordinator and every worker
+	adaptive  bool // latency-driven lease splitting (aggressive target)
 	rangeSize int
 	tel       *telemetry.Campaign
+}
+
+// tracedHub builds a telemetry hub with a Tracer journaling into buf —
+// the in-process stand-in for one traced process in the fleet.
+func tracedHub(proc string, trace uint64, buf *bytes.Buffer) *telemetry.Campaign {
+	tel := telemetry.NewCampaign(nil, nil)
+	tel.Tracer = telemetry.NewTracer(telemetry.NewJournal(buf, nil), proc, trace)
+	return tel
 }
 
 // runDistributed executes the campaign through a real coordinator and
@@ -148,6 +158,21 @@ type distOpts struct {
 func runDistributed(t *testing.T, c campaign, o distOpts) *inject.Report {
 	t.Helper()
 	clk := newFakeClock()
+	tel := o.tel
+	var (
+		coordSpans   bytes.Buffer
+		coordJournal *telemetry.Journal
+		coordRoot    telemetry.Span
+	)
+	if o.traced {
+		if tel == nil {
+			tel = telemetry.NewCampaign(nil, nil)
+		}
+		coordJournal = telemetry.NewJournal(&coordSpans, nil)
+		tel.Tracer = telemetry.NewTracer(coordJournal, "coordinator", telemetry.TraceID("matrix"))
+		coordRoot = tel.StartSpan("dist-campaign")
+		tel.SetTraceRoot(coordRoot)
+	}
 	cfg := dist.Config{
 		Plan:        c.plan,
 		RangeSize:   o.rangeSize,
@@ -156,7 +181,14 @@ func runDistributed(t *testing.T, c campaign, o distOpts) *inject.Report {
 		BackoffBase: time.Nanosecond, // one clock micro-step clears it
 		BackoffCap:  time.Microsecond,
 		Clock:       clk.Now,
-		Telemetry:   o.tel,
+		Telemetry:   tel,
+	}
+	if o.adaptive {
+		cfg.Adaptive = true
+		// The fake clock moves in microsecond steps, so a microsecond
+		// target keeps the splitter engaged for the whole campaign.
+		cfg.TargetLease = time.Microsecond
+		cfg.MinRange = 2
 	}
 	if o.local {
 		lt := *c.target
@@ -189,6 +221,15 @@ func runDistributed(t *testing.T, c campaign, o distOpts) *inject.Report {
 			Plan:      c.plan,
 			Workers:   2,
 			Heartbeat: 50 * time.Millisecond,
+		}
+		if o.traced {
+			// One hub per worker process, shared between the protocol
+			// loop and the injection target so experiment spans nest
+			// under the worker-lease span. The trace id arrives on the
+			// wire, so the local tracer starts with zero.
+			wtel := tracedHub(wcfg.Name, 0, &bytes.Buffer{})
+			wt.Telemetry = wtel
+			wcfg.Telemetry = wtel
 		}
 		if o.killLease > 0 && i == 0 {
 			kill := o.killLease
@@ -231,6 +272,14 @@ func runDistributed(t *testing.T, c campaign, o distOpts) *inject.Report {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if o.traced {
+		tel.PhaseDone()
+		coordRoot.End()
+		coordJournal.Close()
+		if coordSpans.Len() == 0 {
+			t.Fatal("traced run produced an empty coordinator span journal")
+		}
+	}
 	return rep
 }
 
@@ -248,16 +297,26 @@ func TestDistNeutralityMatrix(t *testing.T) {
 		lanes     int
 		collapse  bool
 		local     bool
+		traced    bool
+		adaptive  bool
 	}{
-		{"v2/1worker", "v2", 1, 0, 1, false, false},
-		{"v2/2workers-kill", "v2", 2, 2, 1, false, false},
-		{"v2/4workers-lanes64-collapse", "v2", 4, 0, 64, true, false},
-		{"v2/2workers-kill-lanes64", "v2", 2, 2, 64, false, false},
-		{"v2/all-workers-die-local-fallback", "v2", 1, 1, 1, false, true},
-		{"v1/2workers-collapse", "v1", 2, 0, 1, true, false},
-		{"v1/2workers-kill-local", "v1", 2, 1, 64, false, true},
-		{"lockstep/2workers-lanes64-collapse", "lockstep", 2, 0, 64, true, false},
-		{"lockstep/2workers-kill", "lockstep", 2, 2, 1, false, false},
+		{"v2/1worker", "v2", 1, 0, 1, false, false, false, false},
+		{"v2/2workers-kill", "v2", 2, 2, 1, false, false, false, false},
+		{"v2/4workers-lanes64-collapse", "v2", 4, 0, 64, true, false, false, false},
+		{"v2/2workers-kill-lanes64", "v2", 2, 2, 64, false, false, false, false},
+		{"v2/all-workers-die-local-fallback", "v2", 1, 1, 1, false, true, false, false},
+		{"v1/2workers-collapse", "v1", 2, 0, 1, true, false, false, false},
+		{"v1/2workers-kill-local", "v1", 2, 1, 64, false, true, false, false},
+		{"lockstep/2workers-lanes64-collapse", "lockstep", 2, 0, 64, true, false, false, false},
+		{"lockstep/2workers-kill", "lockstep", 2, 2, 1, false, false, false, false},
+		// Tracing and adaptive sizing are knobs like lanes and collapse:
+		// the merged bytes must not notice them, alone or combined, in
+		// calm fleets or through a worker kill.
+		{"v2/1worker-traced", "v2", 1, 0, 1, false, false, true, false},
+		{"v2/4workers-lanes64-traced-adaptive", "v2", 4, 0, 64, false, false, true, true},
+		{"v2/2workers-kill-adaptive", "v2", 2, 2, 1, false, false, false, true},
+		{"v1/2workers-kill-traced-adaptive", "v1", 2, 2, 1, false, false, true, true},
+		{"lockstep/4workers-lanes64-traced-adaptive", "lockstep", 4, 0, 64, true, false, true, true},
 	}
 
 	campaigns := map[string]campaign{}
@@ -280,6 +339,8 @@ func TestDistNeutralityMatrix(t *testing.T) {
 				lanes:     cell.lanes,
 				collapse:  cell.collapse,
 				local:     cell.local,
+				traced:    cell.traced,
+				adaptive:  cell.adaptive,
 				rangeSize: 7, // prime: ranges straddle zone and class boundaries
 			})
 			if !reflect.DeepEqual(refs[cell.kind], rep) {

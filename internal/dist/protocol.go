@@ -89,6 +89,14 @@ type Msg struct {
 	Hi    int   `json:"hi,omitempty"`
 	TTLMs int64 `json:"ttl_ms,omitempty"`
 
+	// Trace context on a lease (optional; additive in protocol v1 —
+	// untraced peers ignore unknown JSON fields): the campaign trace id
+	// in hex and the coordinator's lease span id. A traced worker
+	// adopts the trace and parents its lease span under Span, so the
+	// per-process span journals merge into one fleet-wide trace.
+	Trace string `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
+
 	// Result payload: canonical checkpoint bytes (JSON base64).
 	Ckpt []byte `json:"ckpt,omitempty"`
 

@@ -2,11 +2,13 @@ package dist
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/fit"
 	"repro/internal/fmea"
 	"repro/internal/inject"
 	"repro/internal/memsys"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/zones"
 )
@@ -36,6 +38,19 @@ type Spec struct {
 	// run but does not alter the plan fingerprint or any result byte,
 	// so processes in one campaign may disagree on it.
 	Warmstart int
+}
+
+// TraceID derives the campaign-scoped trace id every process in one
+// distributed run agrees on: a pure function of the campaign-defining
+// spec fields, so coordinator and workers label their span journals
+// with the same trace before the first lease carries it over the wire.
+// Warmstart is excluded — like the plan fingerprint, the trace
+// identifies the campaign, and warm start is a process-local knob.
+func (sp Spec) TraceID() uint64 {
+	return telemetry.TraceID("dist", sp.Design,
+		strconv.Itoa(sp.AddrWidth), strconv.Itoa(sp.Words),
+		strconv.Itoa(sp.Transient), strconv.Itoa(sp.Permanent),
+		strconv.Itoa(sp.Wide), strconv.FormatUint(sp.Seed, 10))
 }
 
 // Campaign is a fully built campaign: everything a coordinator needs

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/inject"
+	"repro/internal/telemetry"
 )
 
 // ErrKilled is returned by RunWorker when the OnLease hook aborts the
@@ -34,6 +35,12 @@ type WorkerConfig struct {
 	// lease (count is 1-based across the worker's lifetime); returning
 	// false kills the worker abruptly. Test hook only.
 	OnLease func(count, lo, hi int) bool
+	// Telemetry is the worker's hub (nil = off). With a Tracer
+	// attached, each lease runs under a worker-lease span parented —
+	// via the trace context on the lease message — under the
+	// coordinator's lease span, and the range's experiment spans nest
+	// under it, merging the fleet's journals into one trace.
+	Telemetry *telemetry.Campaign
 	// Logf receives scheduling events (nil = silent). Out-of-band.
 	Logf func(format string, args ...any)
 }
@@ -85,16 +92,31 @@ func RunWorker(rw io.ReadWriteCloser, cfg WorkerConfig) error {
 				return ErrKilled
 			}
 			logf("lease %d: running range [%d,%d)", m.Lease, m.Lo, m.Hi)
+			// Open the worker-lease span under the coordinator's lease
+			// span (rparent over the wire) and make it the ambient
+			// trace root so the range's experiment spans nest inside.
+			tel := cfg.Telemetry
+			lease, lo, hi := m.Lease, m.Lo, m.Hi
+			lsp := tel.StartRemoteSpan("worker-lease", m.Trace, m.Span, func(e *telemetry.Enc) {
+				e.Int("lease", lease)
+				e.Int("lo", int64(lo))
+				e.Int("hi", int64(hi))
+			})
+			prevRoot := tel.TraceRoot()
+			tel.SetTraceRoot(lsp)
 			stop := startHeartbeats(conn, m.Lease, cfg.Heartbeat)
 			ck, runErr := cfg.Target.RunRange(cfg.Golden, cfg.Plan, cfg.Workers, m.Lo, m.Hi)
 			stop()
+			tel.SetTraceRoot(prevRoot)
 			if runErr != nil {
+				lsp.EndOutcome("failed")
 				logf("lease %d: range [%d,%d) failed: %v", m.Lease, m.Lo, m.Hi, runErr)
 				if werr := conn.Write(&Msg{T: MsgFail, Lease: m.Lease, Err: runErr.Error()}); werr != nil {
 					return werr
 				}
 				continue
 			}
+			lsp.EndOutcome("done")
 			logf("lease %d: range [%d,%d) complete", m.Lease, m.Lo, m.Hi)
 			werr := conn.Write(&Msg{
 				T:     MsgResult,

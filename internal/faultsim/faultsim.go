@@ -122,6 +122,7 @@ func (e *Engine) Run(tr *workload.Trace, funcObs, diagObs []netlist.NetID, list 
 // runChunk simulates one chunk of up to 63 faults and records the
 // per-fault verdicts into per[base:base+len(chunk)].
 func (e *Engine) runChunk(tr *workload.Trace, portNets [][]netlist.NetID, funcObs, diagObs []netlist.NetID, chunk []faults.Fault, per []Detection) {
+	sp := e.Telemetry.StartSpanInt("faultsim-chunk", "faults", int64(len(chunk)))
 	funcMask, diagMask := e.runPass(tr, portNets, funcObs, diagObs, chunk)
 	for i := range chunk {
 		lane := uint(i + 1)
@@ -130,6 +131,7 @@ func (e *Engine) runChunk(tr *workload.Trace, portNets [][]netlist.NetID, funcOb
 	}
 	e.Telemetry.AddFaultsSimulated(int64(len(chunk)))
 	e.Telemetry.AddSimCycles(int64(tr.Cycles()))
+	sp.End()
 }
 
 // resolvePorts maps the trace's input ports onto netlist nets once per

@@ -125,8 +125,10 @@ func (g *Golden) snapshotAtOrBefore(cycle int) *sim.Snapshot {
 // RunGolden performs the fault-free reference simulation, recording
 // observation traces and the operational profile.
 func (t *Target) RunGolden(tr *workload.Trace) (*Golden, error) {
+	gsp := t.Telemetry.StartSpanInt("golden-run", "cycles", int64(tr.Cycles()))
 	s, err := t.NewInstance()
 	if err != nil {
+		gsp.EndOutcome("error")
 		return nil, err
 	}
 	a := t.Analysis
@@ -169,6 +171,7 @@ func (t *Target) RunGolden(tr *workload.Trace) (*Golden, error) {
 		}
 	}
 	t.Telemetry.AddSimCycles(int64(tr.Cycles()))
+	gsp.End()
 	return g, nil
 }
 

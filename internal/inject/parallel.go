@@ -6,9 +6,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/simc"
+	"repro/internal/telemetry"
 	"repro/internal/zones"
 )
 
@@ -256,7 +256,9 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 	// lanes.
 	var pc *planCollapse
 	if t.Collapse && span > 0 && !(sup.WallBudget > 0 && sup.Clock != nil) {
+		csp := tel.StartSpan("collapse")
 		pc = t.collapsePlan(g, plan)
+		csp.End()
 	}
 	if pc != nil {
 		applied := 0
@@ -300,13 +302,16 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 		st.sinceCkpt++
 		stopping := sup.StopAfter > 0 && st.completed >= sup.StopAfter
 		if sup.Checkpoint != "" && (st.sinceCkpt >= sup.CheckpointEvery || stopping) {
+			csp := tel.StartSpanInt("checkpoint", "completed", int64(st.completed))
 			if err := WriteCheckpoint(sup.Checkpoint, st.snapshotSpan(lo, hi), plan); err != nil {
 				if ckptErr == nil {
 					ckptErr = err
 					stopping = true
 				}
+				csp.EndOutcome("error")
 			} else {
 				tel.CheckpointWrite(st.completed)
+				csp.End()
 			}
 			st.sinceCkpt = 0
 		}
@@ -315,9 +320,9 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 		}
 	}
 	// runSingle executes one claimed experiment on the serial supervised
-	// path and records its completion; expStart is its ExpStart stamp
+	// path and records its completion; tk is its ExpStart ticket
 	// (already emitted by the claimer).
-	runSingle := func(i int, expStart time.Time) {
+	runSingle := func(i int, tk telemetry.ExpTicket) {
 		res, err := t.runSupervised(g, plan, i)
 		st.mu.Lock()
 		if err != nil {
@@ -327,15 +332,16 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 					PlanIndex: i, Injection: plan[i], Attempts: ee.Attempts, Err: ee.Err.Error(),
 				}}
 				tel.Quarantine(i, ee.Attempts, ee.Err.Error())
+				tk.Span.EndOutcome("quarantined")
 				finish()
 			} else {
 				errs[i] = err
 				stopped.Store(true)
-				tel.ExpFinish(i, "error", false, 0, -1, expStart)
+				tel.ExpFinish(i, "error", false, 0, -1, tk)
 			}
 		} else {
 			st.slots[i] = expSlot{done: true, res: res}
-			tel.ExpFinish(i, res.Outcome.String(), res.Sens, len(res.Deviated), res.FirstDevCycle, expStart)
+			tel.ExpFinish(i, res.Outcome.String(), res.Sens, len(res.Deviated), res.FirstDevCycle, tk)
 			finish()
 		}
 		st.mu.Unlock()
@@ -372,13 +378,13 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 				runSingle(i, tel.ExpStart(i))
 				continue
 			}
-			starts := make([]time.Time, len(idxs))
+			starts := make([]telemetry.ExpTicket, len(idxs))
 			for k, i := range idxs {
 				starts[k] = tel.ExpStart(i)
 			}
-			tel.BatchStart(len(idxs))
+			bsp := tel.BatchStart(len(idxs))
 			results, err := t.runBatchRecovered(g, prog, plan, idxs)
-			tel.BatchDone(len(idxs))
+			tel.BatchDone(bsp, len(idxs))
 			if err != nil {
 				for k, i := range idxs {
 					runSingle(i, starts[k])

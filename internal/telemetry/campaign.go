@@ -3,6 +3,7 @@ package telemetry
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,6 +29,14 @@ type Campaign struct {
 	// Clock drives timestamps, rates and ETA (nil = no wall-clock
 	// telemetry; counters and journal still work).
 	Clock func() time.Time
+	// Tracer, when set, receives spans from the instrumented layers
+	// (nil = tracing off; every span hook is a no-op). See span.go.
+	Tracer *Tracer
+
+	// Ambient span parents (ids in Tracer's journal): the trace root
+	// (campaign or worker-lease span) and the open phase span.
+	rootSpan  atomic.Uint64
+	phaseSpan atomic.Uint64
 
 	// Pre-resolved hot-path handles.
 	expStarted  *Counter
@@ -57,6 +66,8 @@ type Campaign struct {
 	workerRetry *Counter
 	rangesQuar  *Counter
 	distWorkers *Gauge
+	rangeDurH   *Histogram
+	rangeRowsH  *Histogram
 
 	mu       sync.Mutex
 	outcomes map[string]*Counter
@@ -99,6 +110,8 @@ func NewCampaign(journal *Journal, clock func() time.Time) *Campaign {
 		workerRetry: r.Counter("worker_retries"),
 		rangesQuar:  r.Counter("ranges_quarantined"),
 		distWorkers: r.Gauge("workers_active"),
+		rangeDurH:   r.Histogram("range_duration_ms", 1, 10, 100, 1000, 10_000, 60_000),
+		rangeRowsH:  r.Histogram("range_rows", 1, 2, 4, 8, 16, 32, 64, 128, 256),
 		outcomes:    map[string]*Counter{},
 	}
 }
@@ -135,30 +148,53 @@ func (c *Campaign) PlanBuilt(total, workers int, planHash uint64) {
 	})
 }
 
-// Phase records a flow phase transition (core.Run, cmd/injector).
+// Phase records a flow phase transition (core.Run, cmd/injector). With
+// a tracer it also closes the previous phase span and opens a new one
+// under the trace root.
 func (c *Campaign) Phase(name string) {
 	if c == nil {
 		return
 	}
 	c.Journal.Emit(EvPhase, func(e *Enc) { e.Str("name", name) })
+	if c.Tracer != nil {
+		if old := c.phaseSpan.Swap(0); old != 0 {
+			Span{t: c.Tracer, id: old}.End()
+		}
+		sp := c.Tracer.start(name, c.rootSpan.Load(), 0, "", 0, nil)
+		c.phaseSpan.Store(sp.id)
+	}
 }
 
-// ExpStart marks one experiment entering a worker. It returns the
-// start time for ExpFinish (zero without a clock).
-func (c *Campaign) ExpStart(planIndex int) time.Time {
+// ExpTicket carries one running experiment's start context from
+// ExpStart to ExpFinish: the start time (zero without a clock) and the
+// experiment span (zero without a tracer). A two-word value, cheap to
+// hold per lane.
+type ExpTicket struct {
+	Start time.Time
+	Span  Span
+}
+
+// ExpStart marks one experiment entering a worker and returns the
+// ticket ExpFinish closes. The experiment span parents under the
+// ambient phase span (or trace root).
+func (c *Campaign) ExpStart(planIndex int) ExpTicket {
 	if c == nil {
-		return time.Time{}
+		return ExpTicket{}
 	}
 	c.expStarted.Inc()
 	c.inFlight.Add(1)
 	c.Journal.Emit(EvExpStart, func(e *Enc) { e.Int("i", int64(planIndex)) })
-	return c.now()
+	tk := ExpTicket{Start: c.now()}
+	if c.Tracer != nil {
+		tk.Span = c.Tracer.start("exp", c.ambient(), 0, "i", int64(planIndex), nil)
+	}
+	return tk
 }
 
 // ExpFinish marks one experiment verdict: its outcome label, the SENS
-// monitor, deviation fan-out and first deviation cycle. start is the
-// ExpStart return value.
-func (c *Campaign) ExpFinish(planIndex int, outcome string, sens bool, deviated, firstDev int, start time.Time) {
+// monitor, deviation fan-out and first deviation cycle. tk is the
+// ExpStart return value; its span is closed with the outcome.
+func (c *Campaign) ExpFinish(planIndex int, outcome string, sens bool, deviated, firstDev int, tk ExpTicket) {
 	if c == nil {
 		return
 	}
@@ -167,8 +203,8 @@ func (c *Campaign) ExpFinish(planIndex int, outcome string, sens bool, deviated,
 	c.outcomeCounter(outcome).Inc()
 	c.mismatches.Add(int64(deviated))
 	c.deviatedH.Observe(int64(deviated))
-	if c.Clock != nil && !start.IsZero() {
-		c.expWallH.Observe(c.Clock().Sub(start).Microseconds())
+	if c.Clock != nil && !tk.Start.IsZero() {
+		c.expWallH.Observe(c.Clock().Sub(tk.Start).Microseconds())
 	}
 	c.Journal.Emit(EvExpFinish, func(e *Enc) {
 		e.Int("i", int64(planIndex))
@@ -177,6 +213,7 @@ func (c *Campaign) ExpFinish(planIndex int, outcome string, sens bool, deviated,
 		e.Int("deviated", int64(deviated))
 		e.Int("first_dev", int64(firstDev))
 	})
+	tk.Span.EndOutcome(outcome)
 }
 
 // Retry records one failed attempt that will be retried.
@@ -235,23 +272,30 @@ func (c *Campaign) CheckpointLoad(results, quarantined int) {
 
 // BatchStart marks one word-parallel lane batch being claimed by a
 // worker: the batches counter, the lane-occupancy histogram (how full
-// the 64-lane word was) and the lanes_active gauge. Metrics only — the
-// journal records per-experiment lifecycle, which batches preserve.
-func (c *Campaign) BatchStart(lanes int) {
+// the 64-lane word was) and the lanes_active gauge. The journal still
+// records per-experiment lifecycle, which batches preserve; with a
+// tracer the returned batch span (lanes attribute) lets cmd/tracer
+// weight kernel time by lane occupancy.
+func (c *Campaign) BatchStart(lanes int) Span {
 	if c == nil {
-		return
+		return Span{}
 	}
 	c.batches.Inc()
 	c.laneOccH.Observe(int64(lanes))
 	c.lanesActive.Add(int64(lanes))
+	if c.Tracer != nil {
+		return c.Tracer.start("batch", c.ambient(), 0, "lanes", int64(lanes), nil)
+	}
+	return Span{}
 }
 
-// BatchDone marks a lane batch leaving its worker.
-func (c *Campaign) BatchDone(lanes int) {
+// BatchDone marks a lane batch leaving its worker and closes its span.
+func (c *Campaign) BatchDone(sp Span, lanes int) {
 	if c == nil {
 		return
 	}
 	c.lanesActive.Add(int64(-lanes))
+	sp.End()
 }
 
 // AddSimCycles accumulates simulated cycles (golden + faulty runs).
@@ -366,12 +410,25 @@ func (c *Campaign) WorkerLeft() {
 	c.distWorkers.Add(-1)
 }
 
+// RangeDone records one leased plan range completing: its row count
+// and its observed lease duration. These histograms are what the
+// coordinator's latency-driven adaptive lease sizing reads back, and
+// what /metrics exposes as range_duration_ms / range_rows.
+func (c *Campaign) RangeDone(rows int, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.rangeRowsH.Observe(int64(rows))
+	c.rangeDurH.Observe(d.Milliseconds())
+}
+
 // Summary emits the end-of-campaign journal event from the live
-// counters.
+// counters and closes the open phase span, if any.
 func (c *Campaign) Summary() {
 	if c == nil {
 		return
 	}
+	c.PhaseDone()
 	c.Journal.Emit(EvSummary, func(e *Enc) {
 		e.Int("done", c.expDone.Load())
 		e.Int("total", c.planTotal.Load())

@@ -46,6 +46,7 @@ type Journal struct {
 	c   io.Closer
 	seq uint64
 	buf []byte
+	enc Enc
 	err error
 }
 
@@ -146,23 +147,39 @@ func (j *Journal) Emit(ev string, fields func(e *Enc)) {
 	if j == nil {
 		return
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.seq++
-	e := Enc{b: append(j.buf[:0], `{"seq":`...)}
-	e.b = strconv.AppendUint(e.b, j.seq, 10)
-	if j.clock != nil {
-		e.Str("ts", j.clock().UTC().Format(time.RFC3339Nano))
-	}
-	e.Str("ev", ev)
+	e := j.begin(ev)
 	if fields != nil {
-		fields(&e)
+		fields(e)
 	}
+	j.end(e)
+}
+
+// begin locks the journal and opens one event line — seq, optional ts
+// and ev — on the journal's reused encoder. The caller appends the
+// event's fields and must hand the encoder back to end, which writes
+// the line and releases the lock. This is the closure-free emit path
+// used by fixed-shape hot events (span start/end): no func value, no
+// captures, no per-event allocation.
+func (j *Journal) begin(ev string) *Enc {
+	j.mu.Lock()
+	j.seq++
+	j.enc.b = append(j.buf[:0], `{"seq":`...)
+	j.enc.b = strconv.AppendUint(j.enc.b, j.seq, 10)
+	if j.clock != nil {
+		j.enc.Str("ts", j.clock().UTC().Format(time.RFC3339Nano))
+	}
+	j.enc.Str("ev", ev)
+	return &j.enc
+}
+
+// end closes the line opened by begin, writes it and unlocks.
+func (j *Journal) end(e *Enc) {
 	e.b = append(e.b, '}', '\n')
 	j.buf = e.b
 	if _, err := j.w.Write(e.b); err != nil && j.err == nil {
 		j.err = err
 	}
+	j.mu.Unlock()
 }
 
 // appendJSONString appends a JSON-quoted, escaped string.

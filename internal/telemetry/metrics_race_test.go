@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentWithSnapshots hammers counter, gauge and
+// histogram handles from many goroutines while a reader keeps taking
+// registry snapshots, then asserts no update was lost: the final
+// totals are exact, not approximate. Run under -race this also proves
+// the handles and Snapshot are data-race free.
+func TestMetricsConcurrentWithSnapshots(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("level")
+	h := r.Histogram("lat", 1, 8, 64, 512)
+
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			// Mid-flight totals must be internally consistent: a
+			// histogram snapshot's bucket counts sum to its count.
+			hs := s.Histograms["lat"]
+			var sum int64
+			for _, b := range hs.Buckets {
+				sum += b.N
+			}
+			if sum > hs.Count {
+				// Buckets are incremented before n, so a snapshot may
+				// observe the bucket without the count — but by at
+				// most the number of in-flight Observes.
+				if sum-hs.Count > writers {
+					t.Errorf("snapshot buckets=%d count=%d: drifted past in-flight window", sum, hs.Count)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(1)
+				if i%2 == 1 {
+					g.Add(-2)
+				}
+				h.Observe(int64(i % 1000))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	if got, want := c.Load(), int64(writers*perG*3); got != want {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, want)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0 (lost updates)", got)
+	}
+	if got, want := h.Count(), int64(writers*perG); got != want {
+		t.Fatalf("histogram count = %d, want %d (lost updates)", got, want)
+	}
+	// Every goroutine observed 0..999 five times: per-goroutine sum is
+	// 5 * (0+1+...+999) = 2_497_500.
+	if got, want := h.Sum(), int64(writers)*2_497_500; got != want {
+		t.Fatalf("histogram sum = %d, want %d (lost updates)", got, want)
+	}
+	var bsum int64
+	for _, b := range h.Buckets() {
+		bsum += b.N
+	}
+	if bsum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", bsum, h.Count())
+	}
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format 0.0.4: counters as `campaign_<name>` counters, gauges as
+// gauges, histograms as the conventional cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. Metric names are emitted in sorted
+// order, so the output is byte-stable for a given registry state and a
+// scrape needs no bespoke tooling.
+func WritePrometheus(w io.Writer, s RegistrySnapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters { //det:order collecting before sort
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE campaign_%s counter\n", n)
+		fmt.Fprintf(w, "campaign_%s %d\n", n, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges { //det:order collecting before sort
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE campaign_%s gauge\n", n)
+		fmt.Fprintf(w, "campaign_%s %d\n", n, s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Histograms { //det:order collecting before sort
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "# TYPE campaign_%s histogram\n", n)
+		// Registry buckets are per-cell counts; Prometheus buckets
+		// are cumulative, with the overflow cell (Le = -1) as +Inf.
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			if b.Le < 0 {
+				fmt.Fprintf(w, "campaign_%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+			} else {
+				fmt.Fprintf(w, "campaign_%s_bucket{le=\"%d\"} %d\n", n, b.Le, cum)
+			}
+		}
+		fmt.Fprintf(w, "campaign_%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "campaign_%s_count %d\n", n, h.Count)
+	}
+}

@@ -22,8 +22,9 @@ var (
 )
 
 // StatusServer is the live-campaign HTTP endpoint: /progress (campaign
-// snapshot JSON), /metrics (registry snapshot JSON), /debug/vars
-// (expvar, including the campaign registry) and /debug/pprof/*.
+// snapshot JSON), /metrics (Prometheus text format 0.0.4),
+// /metrics.json (registry snapshot JSON), /debug/vars (expvar,
+// including the campaign registry) and /debug/pprof/*.
 //
 // Security note: the campaign endpoint is unauthenticated and pprof
 // exposes process internals, so ServeStatus binds loopback unless the
@@ -62,6 +63,14 @@ func ServeStatus(addr string, c *Campaign) (*StatusServer, error) {
 		writeJSON(w, c.Snapshot())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if c == nil || c.Registry == nil {
+			http.Error(w, "no campaign", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, c.Registry.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		if c == nil || c.Registry == nil {
 			http.Error(w, "no campaign", http.StatusNotFound)
 			return

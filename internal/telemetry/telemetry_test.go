@@ -225,11 +225,22 @@ func TestStatusServer(t *testing.T) {
 		t.Fatalf("/progress = %+v", snap)
 	}
 	var reg RegistrySnapshot
-	if err := json.Unmarshal(get("/metrics"), &reg); err != nil {
+	if err := json.Unmarshal(get("/metrics.json"), &reg); err != nil {
 		t.Fatal(err)
 	}
 	if reg.Counters["exp_done"] != 1 {
-		t.Fatalf("/metrics counters = %v", reg.Counters)
+		t.Fatalf("/metrics.json counters = %v", reg.Counters)
+	}
+	prom := string(get("/metrics"))
+	for _, want := range []string{
+		"# TYPE campaign_exp_done counter\ncampaign_exp_done 1\n",
+		"# TYPE campaign_exp_wall_us histogram\n",
+		`campaign_deviated_points_bucket{le="+Inf"} 1`,
+		"campaign_deviated_points_count 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
 	}
 	if !strings.Contains(string(get("/debug/vars")), `"campaign"`) {
 		t.Fatal("/debug/vars missing the campaign expvar")

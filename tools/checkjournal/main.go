@@ -8,6 +8,20 @@
 //     fields with the right JSON types;
 //   - timestamps, when present, parse as RFC 3339.
 //
+// Span journals (cmd/injector -trace, cmd/campaignd -trace) are the
+// same stream with span_start/span_end events, and get structural
+// checks on top of the schema:
+//
+//   - the trace id is 16 lowercase hex digits and span ids are nonzero;
+//   - a span id opens at most once and closes at most once, and every
+//     span_end closes a span that was opened earlier;
+//   - a span's parent started earlier in the same journal
+//     (parent-before-child; rparent refers to another process's
+//     journal, so only its type is checked);
+//   - every span is closed by end of journal (a clean process closes
+//     what it opens; a crashed worker's journal fails this check, which
+//     is the point).
+//
 // Exit 0 when the journal is well-formed, 1 with one diagnostic per
 // offending line otherwise, 2 on usage/IO errors. CI runs it over the
 // journal of a live smoke campaign, so a schema drift between the
@@ -38,6 +52,15 @@ var required = map[string]map[string]string{
 	"checkpoint_write": {"completed": "number"},
 	"checkpoint_load":  {"results": "number", "quarantined": "number"},
 	"summary":          {"done": "number", "total": "number", "retries": "number", "quarantined": "number", "checkpoints": "number", "sim_cycles": "number"},
+	"span_start":       {"trace": "string", "span": "number", "name": "string", "proc": "string"},
+	"span_end":         {"span": "number"},
+}
+
+// optional maps events to optional fields whose type is still checked
+// when present.
+var optional = map[string]map[string]string{
+	"span_start": {"parent": "number", "rparent": "number"},
+	"span_end":   {"outcome": "string"},
 }
 
 func main() {
@@ -73,6 +96,8 @@ func check(r io.Reader, diag io.Writer) (bad, lines int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var prevSeq float64
+	opened := map[float64]bool{} // span id -> still open
+	started := map[float64]bool{}
 	for sc.Scan() {
 		lines++
 		fail := func(format string, args ...any) {
@@ -136,6 +161,83 @@ func check(r io.Reader, diag io.Writer) (bad, lines int, err error) {
 				fail("%s: field %q is not a %s", ev, name, kind)
 			}
 		}
+		if opts, ok := optional[ev]; ok {
+			names := make([]string, 0, len(opts))
+			for name := range opts { //det:order collecting before sort
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				v, present := obj[name]
+				if !present {
+					continue
+				}
+				okKind := false
+				switch opts[name] {
+				case "string":
+					_, okKind = v.(string)
+				case "number":
+					_, okKind = v.(float64)
+				}
+				if !okKind {
+					fail("%s: field %q is not a %s", ev, name, opts[name])
+				}
+			}
+		}
+
+		// Structural span checks.
+		switch ev {
+		case "span_start":
+			id, _ := obj["span"].(float64)
+			if id == 0 {
+				fail("span_start: zero span id")
+				continue
+			}
+			if tr, ok := obj["trace"].(string); ok && !traceHexOK(tr) {
+				fail("span_start: trace %q is not 16 lowercase hex digits", tr)
+			}
+			if started[id] {
+				fail("span_start: span %v opened twice", id)
+				continue
+			}
+			started[id] = true
+			opened[id] = true
+			if p, ok := obj["parent"].(float64); ok && p != 0 && !started[p] {
+				fail("span_start: span %v references parent %v which has not started", id, p)
+			}
+		case "span_end":
+			id, _ := obj["span"].(float64)
+			if !started[id] {
+				fail("span_end: span %v was never opened", id)
+			} else if !opened[id] {
+				fail("span_end: span %v closed twice", id)
+			}
+			delete(opened, id)
+		}
+	}
+	if len(opened) > 0 {
+		ids := make([]float64, 0, len(opened))
+		for id := range opened { //det:order collecting before sort
+			ids = append(ids, id)
+		}
+		sort.Float64s(ids)
+		bad++
+		fmt.Fprintf(diag, "end of journal: %d span(s) never closed (first: %v)\n", len(ids), ids[0])
 	}
 	return bad, lines, sc.Err()
+}
+
+// traceHexOK reports whether s is exactly 16 lowercase hex digits —
+// the wire form of a trace id.
+func traceHexOK(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
