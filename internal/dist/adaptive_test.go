@@ -153,6 +153,146 @@ func TestAdaptiveDeterministicAndNeutral(t *testing.T) {
 	}
 }
 
+// TestAdaptiveLateResultAfterSplitIsStaleEcho: a lease expires on wide
+// bounds, the range is requeued and adaptively split at re-issue, the
+// narrow range completes — and only then does the revoked lease's
+// result arrive, covering the original wider bounds. That checkpoint
+// spans different rows than any current range, so it must be dropped as
+// a stale echo, not byte-compared against the narrow winner and
+// declared a determinism violation that kills the campaign.
+func TestAdaptiveLateResultAfterSplitIsStaleEcho(t *testing.T) {
+	c := buildCampaign(t, "v2")
+	refBytes := renderReport(serialReference(t, c), c)
+	clk := newFakeClock()
+	coord, err := dist.New(dist.Config{
+		Plan:        c.plan,
+		RangeSize:   16,
+		LeaseTTL:    time.Minute,
+		MaxAttempts: 10,
+		BackoffBase: time.Millisecond,
+		Clock:       clk.Now,
+		Adaptive:    true,
+		TargetLease: 100 * time.Millisecond,
+		MinRange:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, client := net.Pipe()
+	go coord.Serve(server)
+	wc := dist.NewConn(client)
+	if err := wc.Write(helloFor("latecomer", c.plan)); err != nil {
+		t.Fatal(err)
+	}
+	lease1, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease1.Lo != 0 || lease1.Hi != 16 {
+		t.Fatalf("first lease [%d,%d), want the full first range [0,16)", lease1.Lo, lease1.Hi)
+	}
+
+	// Expire lease1. The worker is idle, so the scheduler hands it the
+	// second range while [0,16) sits in backoff.
+	clk.Advance(2 * time.Minute)
+	coord.Tick()
+	lease2, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease2.T != dist.MsgLease || lease2.Lo != 16 {
+		t.Fatalf("expected a lease on the second range, got %q [%d,%d)", lease2.T, lease2.Lo, lease2.Hi)
+	}
+
+	// Complete lease2 as a straggler — 100ms/row pushes the tail
+	// estimate to where desiredRows == MinRange, so the requeued [0,16)
+	// is split at re-issue.
+	clk.Advance(time.Duration(lease2.Hi-lease2.Lo) * 100 * time.Millisecond)
+	ck2, err := c.target.RunRange(c.golden, c.plan, 2, lease2.Lo, lease2.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Write(&dist.Msg{
+		T: dist.MsgResult, Lease: lease2.Lease,
+		Ckpt: inject.EncodeCheckpoint(ck2, c.plan),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lease3, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease3.Lo != 0 || lease3.Hi >= 16 {
+		t.Fatalf("expected a split re-issue of [0,16), got [%d,%d)", lease3.Lo, lease3.Hi)
+	}
+
+	// The narrow range completes first...
+	clk.Advance(time.Millisecond)
+	ck3, err := c.target.RunRange(c.golden, c.plan, 2, lease3.Lo, lease3.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Write(&dist.Msg{
+		T: dist.MsgResult, Lease: lease3.Lease,
+		Ckpt: inject.EncodeCheckpoint(ck3, c.plan),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	next, err := wc.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and only now does the revoked lease deliver its result over
+	// the original, pre-split bounds.
+	ck1, err := c.target.RunRange(c.golden, c.plan, 2, lease1.Lo, lease1.Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Write(&dist.Msg{
+		T: dist.MsgResult, Lease: lease1.Lease,
+		Ckpt: inject.EncodeCheckpoint(ck1, c.plan),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the rest of the campaign, completing every lease offered.
+	for next.T != dist.MsgFin {
+		if next.T != dist.MsgLease {
+			t.Fatalf("got %q, want a lease or fin", next.T)
+		}
+		clk.Advance(time.Millisecond)
+		ck, err := c.target.RunRange(c.golden, c.plan, 2, next.Lo, next.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wc.Write(&dist.Msg{
+			T: dist.MsgResult, Lease: next.Lease,
+			Ckpt: inject.EncodeCheckpoint(ck, c.plan),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if next, err = wc.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-coord.Done()
+	if err := coord.Err(); err != nil {
+		t.Fatalf("late pre-split result failed the campaign: %v", err)
+	}
+	ck, err := coord.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.target.AssembleReport(c.plan, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderReport(rep, c), refBytes) {
+		t.Fatal("report bytes differ from the serial reference after a stale pre-split echo")
+	}
+}
+
 // TestAdaptiveHistogramsAlwaysLive: the range-duration and range-rows
 // histograms feed /metrics and cmd/tracer's straggler report, so they
 // must populate from live-lease completions even with Adaptive off.

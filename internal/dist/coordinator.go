@@ -87,6 +87,16 @@ type planRange struct {
 	span     telemetry.Span // the live lease's span (cleared on end)
 }
 
+// leaseRef records which range a lease was issued on and the bounds it
+// covered at issue time. Live leases always match their range's current
+// bounds (only pending ranges are ever split); a mismatch therefore
+// identifies a message from a revoked lease whose range has since been
+// narrowed.
+type leaseRef struct {
+	r      *planRange
+	lo, hi int
+}
+
 // workerConn is one connected worker. Messages to it go through a
 // buffered outbox drained by a writer goroutine, so the coordinator
 // never blocks on a slow peer while holding its lock.
@@ -112,8 +122,12 @@ type Coordinator struct {
 	// resolve so it can be byte-verified against the winning attempt
 	// instead of silently dropped. It holds the *planRange itself, not
 	// an index: adaptive splitting inserts ranges mid-slice, so indices
-	// are not stable across a lease's lifetime.
-	leaseRange map[int64]*planRange
+	// are not stable across a lease's lifetime. Each entry also
+	// snapshots the bounds the lease was issued over: a revoked lease's
+	// range can be adaptively split (narrowed) before its late result
+	// arrives, and a checkpoint covering the original wider bounds must
+	// not be byte-compared against a result for the narrower ones.
+	leaseRange map[int64]leaseRef
 	workers    []*workerConn
 	nextWorker int64
 	nextLease  int64
@@ -168,7 +182,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:        cfg,
 		planHash:   fmt.Sprintf("%016x", inject.PlanHash(cfg.Plan)),
-		leaseRange: map[int64]*planRange{},
+		leaseRange: map[int64]leaseRef{},
 		done:       make(chan struct{}),
 	}
 	for lo := 0; lo < len(cfg.Plan); lo += cfg.RangeSize {
@@ -319,7 +333,7 @@ func (c *Coordinator) assignLocked(w *workerConn, now time.Time) {
 	r.worker = w.id
 	r.deadline = now.Add(c.cfg.LeaseTTL)
 	r.issuedAt = now
-	c.leaseRange[r.lease] = r
+	c.leaseRange[r.lease] = leaseRef{r: r, lo: r.lo, hi: r.hi}
 	c.cfg.Telemetry.LeaseIssued()
 	c.startLeaseSpanLocked(r, w.id)
 	c.logf("lease %d: range [%d,%d) -> worker %q (attempt %d)", r.lease, r.lo, r.hi, w.name, r.attempts+1)
@@ -397,11 +411,11 @@ func (c *Coordinator) liveWorkersLocked() int {
 func (c *Coordinator) heartbeat(lease int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.leaseRange[lease]
+	ref, ok := c.leaseRange[lease]
 	if !ok {
 		return
 	}
-	if r.status == rangeLeased && r.lease == lease {
+	if r := ref.r; r.status == rangeLeased && r.lease == lease {
 		r.deadline = c.cfg.Clock().Add(c.cfg.LeaseTTL)
 	}
 }
@@ -415,9 +429,22 @@ func (c *Coordinator) heartbeat(lease int64) {
 func (c *Coordinator) result(w *workerConn, m *Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.leaseRange[m.Lease]
+	ref, ok := c.leaseRange[m.Lease]
 	if !ok {
 		return // lease id we never issued: bogus peer, drop
+	}
+	r := ref.r
+	if ref.lo != r.lo || ref.hi != r.hi {
+		// The lease was issued over bounds an adaptive split has since
+		// narrowed, so this is a late echo from a revoked attempt whose
+		// checkpoint covers a different row span than any current range
+		// — it cannot be byte-verified against the winning attempt, and
+		// it is not a determinism violation. Drop it; every row of the
+		// old bounds completes under the post-split leases.
+		c.logf("stale result for revoked lease %d over pre-split bounds [%d,%d) ignored (range now [%d,%d))",
+			m.Lease, ref.lo, ref.hi, r.lo, r.hi)
+		c.assignLocked(w, c.cfg.Clock())
+		return
 	}
 	switch r.status {
 	case rangeDone:
@@ -449,10 +476,16 @@ func (c *Coordinator) result(w *workerConn, m *Msg) {
 		// Latency is only meaningful when the completing lease is the
 		// live one — a late result from a revoked lease measures a
 		// worker that already blew its TTL, not current fleet speed.
+		// Span attribution follows the same split: an open span here
+		// belongs to the live lease, and when a revoked lease's late
+		// result wins the race, the live worker is still running — its
+		// span ends "superseded", not "done".
 		if r.status == rangeLeased && r.lease == m.Lease {
 			c.observeLeaseLocked(r.hi-r.lo, c.cfg.Clock().Sub(r.issuedAt))
+			c.endLeaseSpanLocked(r, "done")
+		} else {
+			c.endLeaseSpanLocked(r, "superseded")
 		}
-		c.endLeaseSpanLocked(r, "done")
 		r.status = rangeDone
 		r.result = m.Ckpt
 		r.lastErr = ""
@@ -498,10 +531,11 @@ func (c *Coordinator) validateResultLocked(r *planRange, ckpt []byte) error {
 func (c *Coordinator) fail(w *workerConn, m *Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	r, ok := c.leaseRange[m.Lease]
+	ref, ok := c.leaseRange[m.Lease]
 	if !ok {
 		return
 	}
+	r := ref.r
 	if r.status != rangeLeased || r.lease != m.Lease {
 		return // stale failure report for a lease already revoked
 	}
@@ -637,7 +671,7 @@ func (c *Coordinator) runLocal() {
 		r.lease = lease
 		r.worker = 0 // local leases have no TTL: the runner is us
 		r.issuedAt = now
-		c.leaseRange[lease] = r
+		c.leaseRange[lease] = leaseRef{r: r, lo: r.lo, hi: r.hi}
 		c.localBusy = true
 		lo, hi := r.lo, r.hi
 		c.cfg.Telemetry.LeaseIssued()
@@ -680,8 +714,10 @@ func (c *Coordinator) runLocal() {
 			} else {
 				if r.status == rangeLeased && r.lease == lease {
 					c.observeLeaseLocked(hi-lo, c.cfg.Clock().Sub(r.issuedAt))
+					c.endLeaseSpanLocked(r, "done")
+				} else {
+					c.endLeaseSpanLocked(r, "superseded")
 				}
-				c.endLeaseSpanLocked(r, "done")
 				r.status = rangeDone
 				r.result = enc
 				r.lastErr = ""

@@ -149,9 +149,35 @@ func (j *Journal) Emit(ev string, fields func(e *Enc)) {
 	}
 	e := j.begin(ev)
 	if fields != nil {
-		fields(e)
+		j.guard(e, fields)
 	}
 	j.end(e)
+}
+
+// guard runs a caller-supplied fields closure on the line opened by
+// begin. If the closure panics, the half-built line (corrupt JSON by
+// construction) is discarded and the journal unlocked before the panic
+// propagates — otherwise one panicking callback would wedge every
+// subsequent emit on the held mutex. The closure-free begin/end hot
+// path needs no guard: nothing between them can panic.
+func (j *Journal) guard(e *Enc, fn func(*Enc)) {
+	done := false
+	defer func() {
+		if !done {
+			j.abort(e)
+		}
+	}()
+	fn(e)
+	done = true
+}
+
+// abort discards the line opened by begin without writing it: the
+// sequence number is reclaimed (journal seqs must stay contiguous) and
+// the lock released.
+func (j *Journal) abort(e *Enc) {
+	j.buf = e.b[:0]
+	j.seq--
+	j.mu.Unlock()
 }
 
 // begin locks the journal and opens one event line — seq, optional ts

@@ -174,3 +174,57 @@ func TestJournalConcurrentEmit(t *testing.T) {
 		}
 	}
 }
+
+// TestEmitPanicReleasesJournal: a fields/attrs closure that panics
+// mid-line must not wedge the journal — the half-built line (corrupt
+// JSON by construction) is discarded, the sequence number reclaimed
+// and the mutex released, so the panic propagates to the caller while
+// every later emit still works.
+func TestEmitPanicReleasesJournal(t *testing.T) {
+	var sb strings.Builder
+	j := NewJournal(&sb, nil)
+	tr := NewTracer(j, "p", 0xab)
+
+	mustPanic := func(what string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: panic did not propagate", what)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Emit", func() {
+		j.Emit(EvPhase, func(e *Enc) { e.Str("name", "doomed"); panic("boom") })
+	})
+	mustPanic("StartAttrs", func() {
+		tr.StartAttrs("doomed", Span{}, func(e *Enc) { panic("boom") })
+	})
+	mustPanic("EndAttrs", func() {
+		tr.Start("x", Span{}).EndAttrs(func(e *Enc) { panic("boom") })
+	})
+
+	// The journal is still healthy: next emit succeeds and the stream
+	// holds only complete lines with contiguous seqs.
+	j.Emit(EvPhase, func(e *Enc) { e.Str("name", "after") })
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+		if seq := m["seq"].(float64); seq != float64(i+1) {
+			t.Fatalf("line %d has seq %v, want %d (aborted lines must reclaim their seq)", i, seq, i+1)
+		}
+		if name, _ := m["name"].(string); name == "doomed" {
+			t.Fatalf("aborted line was written: %q", line)
+		}
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"name":"after"`) {
+		t.Fatalf("post-panic emit missing, last line %q", last)
+	}
+}

@@ -188,7 +188,14 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		s.Gauges[name] = g.Load()
 	}
 	for name, h := range r.histograms { //det:order copying into a map
-		s.Histograms[name] = HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+		// Buckets before count, mirroring Observe's bucket-then-n write
+		// order from the other side: a concurrent snapshot then sees
+		// bucket sums ahead of the count by at most the in-flight
+		// Observes (one per writer). Reading the count first would let
+		// every Observe landing mid-snapshot inflate the buckets past
+		// it unboundedly.
+		b := h.Buckets()
+		s.Histograms[name] = HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: b}
 	}
 	return s
 }

@@ -62,9 +62,16 @@ func ServeStatus(addr string, c *Campaign) (*StatusServer, error) {
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, c.Snapshot())
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if c == nil || c.Registry == nil {
 			http.Error(w, "no campaign", http.StatusNotFound)
+			return
+		}
+		// /metrics served the JSON registry snapshot before it became
+		// Prometheus text format (JSON moved to /metrics.json); honor an
+		// explicit JSON Accept so pre-migration scrapers keep working.
+		if strings.Contains(r.Header.Get("Accept"), "application/json") {
+			writeJSON(w, c.Registry.Snapshot())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -154,7 +154,7 @@ func (t *Tracer) start(name string, parent, rparent uint64, intKey string, intVa
 		e.Int(intKey, intVal)
 	}
 	if attrs != nil {
-		attrs(e)
+		t.j.guard(e, attrs)
 	}
 	t.j.end(e)
 	return Span{t: t, id: id}
@@ -188,7 +188,7 @@ func (s Span) end(outcome string, attrs func(*Enc)) {
 		e.Str("outcome", outcome)
 	}
 	if attrs != nil {
-		attrs(e)
+		s.t.j.guard(e, attrs)
 	}
 	s.t.j.end(e)
 }

@@ -242,6 +242,30 @@ func TestStatusServer(t *testing.T) {
 			t.Fatalf("/metrics missing %q:\n%s", want, prom)
 		}
 	}
+	// Pre-Prometheus scrapers of /metrics that ask for JSON explicitly
+	// still get the registry snapshot.
+	req, err := http.NewRequest("GET", "http://"+s.Addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negotiated, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg = RegistrySnapshot{}
+	if err := json.Unmarshal(negotiated, &reg); err != nil {
+		t.Fatalf("/metrics with Accept: application/json is not JSON: %v\n%s", err, negotiated)
+	}
+	if reg.Counters["exp_done"] != 1 {
+		t.Fatalf("negotiated /metrics counters = %v", reg.Counters)
+	}
+
 	if !strings.Contains(string(get("/debug/vars")), `"campaign"`) {
 		t.Fatal("/debug/vars missing the campaign expvar")
 	}
