@@ -1,0 +1,146 @@
+// Command served is the campaign-as-a-service daemon: it wraps the
+// paper's whole assessment flow (netlist → zones → DRC → worksheet →
+// injection → certify) behind a long-running HTTP/JSON API.
+//
+// Submissions (design spec + plan + grading knobs) enter a bounded
+// FIFO queue feeding a worker pool over the supervised core.Run
+// engine; a full queue answers 429, a duplicate submission is served
+// byte-identically from the content-addressed result cache, and every
+// job exposes its own live /progress snapshot, report and JSONL span
+// journal. SIGTERM drains gracefully: no new submissions, queued and
+// running jobs finish, then the process exits 0.
+//
+// Quick start:
+//
+//	served -listen :8080 &
+//	curl -d '{"design":"v2","validate":true}' http://127.0.0.1:8080/jobs
+//	curl http://127.0.0.1:8080/jobs/j1/progress   # poll
+//	curl http://127.0.0.1:8080/jobs/j1/report     # byte-identical to cmd/certify
+//
+// Security posture: like the telemetry status server, served binds
+// loopback unless -expose is given — the API is unauthenticated, so
+// exposing it beyond loopback is an explicit operator decision.
+//
+// Exit codes: 0 clean shutdown after drain; 1 fatal error (bind
+// failure, drain timeout); 2 flag/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the testable daemon body. ready, when non-nil, receives the
+// bound address once the listener is up.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	lg := log.New(stderr, "served: ", 0)
+	fs := flag.NewFlagSet("served", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: served [flags]")
+		fmt.Fprintln(stderr, "\nMulti-tenant assessment daemon: POST /jobs, poll /jobs/{id}/progress,")
+		fmt.Fprintln(stderr, "fetch /jobs/{id}/report (byte-identical to cmd/certify).")
+		fmt.Fprintln(stderr, "\nExit codes:")
+		fmt.Fprintln(stderr, "  0  clean shutdown after graceful drain")
+		fmt.Fprintln(stderr, "  1  fatal error (bind failure, serve failure, drain timeout)")
+		fmt.Fprintln(stderr, "  2  flag/usage error")
+		fmt.Fprintln(stderr, "\nFlags:")
+		fs.PrintDefaults()
+	}
+	listen := fs.String("listen", "127.0.0.1:8080", "listen address (empty and wildcard hosts bind 127.0.0.1 unless -expose)")
+	expose := fs.Bool("expose", false, "bind the address exactly as given, wildcard hosts included (the API is unauthenticated)")
+	queue := fs.Int("queue", 64, "bounded FIFO submission queue depth (overflow answers 429)")
+	jobs := fs.Int("jobs", 1, "job worker pool size (concurrent assessments)")
+	engineWorkers := fs.Int("engine-workers", runtime.NumCPU(), "injection-campaign goroutines per job (byte-neutral)")
+	lanes := fs.Int("lanes", 1, "word-parallel kernel lanes per job, 1..64 (byte-neutral)")
+	collapse := fs.Bool("collapse", false, "static fault-analysis pre-pass per job (byte-neutral)")
+	cacheCap := fs.Int("cache", 256, "content-addressed result cache entries (negative disables)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "max wait for running jobs on SIGTERM (0 = wait forever)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "served: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+	switch {
+	case *queue < 1:
+		return usageErr("-queue must be >= 1, got %d", *queue)
+	case *jobs < 1:
+		return usageErr("-jobs must be >= 1, got %d", *jobs)
+	case *lanes < 1 || *lanes > 64:
+		return usageErr("-lanes must be in 1..64, got %d", *lanes)
+	}
+
+	addr := *listen
+	if !*expose {
+		addr = telemetry.DefaultLoopback(addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		lg.Printf("listen: %v", err)
+		return 1
+	}
+
+	srv := serve.New(serve.Config{
+		QueueDepth:     *queue,
+		Workers:        *jobs,
+		EngineWorkers:  *engineWorkers,
+		EngineLanes:    *lanes,
+		EngineCollapse: *collapse,
+		CacheCap:       *cacheCap,
+		Clock:          telemetry.SystemClock,
+	})
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	lg.Printf("listening on %s (queue %d, %d job worker(s), %d engine worker(s))",
+		ln.Addr(), *queue, *jobs, *engineWorkers)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sg := <-sig:
+		lg.Printf("signal %v: draining (no new submissions; queued and running jobs finish)", sg)
+		hs.Close() //nolint:errcheck — listener down is the point
+		if err := srv.Drain(*drainTimeout); err != nil {
+			lg.Printf("drain: %v", err)
+			return 1
+		}
+		lg.Printf("drained cleanly")
+		return 0
+	case err := <-errc:
+		lg.Printf("serve: %v", err)
+		return 1
+	}
+}

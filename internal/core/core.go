@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -66,6 +68,20 @@ type Options struct {
 	// target. The zero value is fail-fast: any experiment failure
 	// aborts the flow, as before.
 	Supervision inject.Supervision
+	// Workers/Lanes/Collapse are the engine throughput knobs threaded
+	// onto the injection target (goroutine sharding, word-parallel
+	// lanes, static collapse). All three are byte-neutral: the report
+	// is bit-identical at any setting, so services may tune them per
+	// deployment without voiding certification identity.
+	Workers  int
+	Lanes    int
+	Collapse bool
+	// Ctx cancels an in-flight assessment: the flow checks it between
+	// phases and the injection campaigns poll it cooperatively
+	// (Supervision.Interrupt), so an abandoned job stops within about
+	// one experiment instead of running to completion. nil means
+	// background — never cancelled.
+	Ctx context.Context
 	// Telemetry is the observability hub threaded through the flow
 	// (phase transitions, campaign lifecycle events, metrics). nil
 	// disables the layer; the assessment is byte-identical either way.
@@ -142,9 +158,22 @@ func (as *Assessment) CampaignHealthy() bool {
 	return as.Validation == nil || !as.Validation.Degraded
 }
 
-// Run executes the flow over a DUT.
+// Run executes the flow over a DUT. When Options.Ctx is set and is
+// cancelled mid-flight, Run returns an error wrapping the context's
+// error (context.Canceled / DeadlineExceeded) and never a partial
+// assessment.
 func Run(dut DUT, opts Options) (*Assessment, error) {
 	tel := opts.Telemetry
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	canceled := func(stage string) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: %s: %w", stage, err)
+		}
+		return nil
+	}
 	// With tracing live, the whole assessment runs under one span so
 	// the per-phase spans (and everything below them) nest under it;
 	// the previous trace root — the CLI's campaign span — is restored
@@ -157,6 +186,9 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 			tel.SetTraceRoot(prev)
 			asp.End()
 		}()
+	}
+	if err := canceled("zone extraction"); err != nil {
+		return nil, err
 	}
 	tel.Phase("zone-extraction")
 	a, err := dut.Analyze()
@@ -192,10 +224,22 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 	target := dut.Target(a)
 	target.Supervision = opts.Supervision
 	target.Telemetry = tel
+	target.Workers = opts.Workers
+	target.Lanes = opts.Lanes
+	target.Collapse = opts.Collapse
+	// Thread the context into the campaign engine: the injection loops
+	// poll the channel cooperatively, so one ctx cancel stops golden
+	// run, zone campaign and wide campaign alike.
+	if opts.Ctx != nil && target.Supervision.Interrupt == nil {
+		target.Supervision.Interrupt = opts.Ctx.Done()
+	}
+	if err := canceled("golden run"); err != nil {
+		return nil, err
+	}
 	tel.Phase("golden-run")
 	golden, err := target.RunGolden(dut.ValidationTrace())
 	if err != nil {
-		return nil, fmt.Errorf("core: golden run: %w", err)
+		return nil, ctxErr(ctx, fmt.Errorf("core: golden run: %w", err))
 	}
 	v := &Validation{}
 	var inactive []int
@@ -204,17 +248,23 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 		v.InactiveZones = append(v.InactiveZones, a.Zones[zi].Name)
 	}
 	plan := inject.BuildPlan(a, golden, opts.Plan)
+	if err := canceled("injection campaign"); err != nil {
+		return nil, err
+	}
 	tel.Phase("zone-campaign")
 	v.Report, err = target.Run(golden, plan)
 	if err != nil {
-		return nil, fmt.Errorf("core: injection campaign: %w", err)
+		return nil, ctxErr(ctx, fmt.Errorf("core: injection campaign: %w", err))
 	}
 	if opts.WideFaults > 0 {
 		widePlan := inject.WidePlan(a, golden, opts.WideFaults, opts.Plan.Seed+1)
+		if err := canceled("wide/global campaign"); err != nil {
+			return nil, err
+		}
 		tel.Phase("wide-campaign")
 		v.WideReport, err = target.Run(golden, widePlan)
 		if err != nil {
-			return nil, fmt.Errorf("core: wide/global campaign: %w", err)
+			return nil, ctxErr(ctx, fmt.Errorf("core: wide/global campaign: %w", err))
 		}
 	}
 	for _, rep := range []*inject.Report{v.Report, v.WideReport} {
@@ -233,6 +283,9 @@ func Run(dut DUT, opts Options) (*Assessment, error) {
 		if !ec.Consistent {
 			v.EffectsOK = false
 		}
+	}
+	if err := canceled("toggle measurement"); err != nil {
+		return nil, err
 	}
 	tel.Phase("toggle-coverage")
 	toggleRep, err := target.ToggleCoverage(dut.CoverageTrace())
@@ -312,6 +365,17 @@ func (as *Assessment) Report() string {
 		}
 	}
 	return b.String()
+}
+
+// ctxErr folds a cooperative campaign interrupt back onto its cause:
+// when the context is cancelled, the caller should see the context's
+// error (wrapped, so errors.Is(err, context.Canceled) holds) rather
+// than the engine-internal interrupt sentinel.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil && errors.Is(err, inject.ErrCampaignInterrupted) {
+		return fmt.Errorf("%v: %w", err, cerr)
+	}
+	return err
 }
 
 func verdict(ok bool) string {

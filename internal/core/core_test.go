@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -230,5 +232,34 @@ func TestDegradedCampaignConditional(t *testing.T) {
 	}
 	if strings.Contains(as.Report(), "degraded campaign") {
 		t.Error("healthy report renders the degraded call-out")
+	}
+}
+
+// TestRunCanceledContext: a canceled Options.Ctx stops the flow at the
+// next stage boundary with an error wrapping context.Canceled and no
+// partial assessment — the cooperative-cancellation surface the serve
+// daemon's DELETE /jobs/{id} rides on.
+func TestRunCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.RunValidation = false
+	opts.Ctx = ctx
+	as, err := Run(flowDUT(t, true, 6), opts)
+	if as != nil {
+		t.Fatal("canceled run returned a partial assessment")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("err %q does not name the cancellation", err)
+	}
+
+	// A live context is inert: same flow, same result as no context.
+	opts.Ctx = context.Background()
+	as, err = Run(flowDUT(t, true, 6), opts)
+	if err != nil || as == nil {
+		t.Fatalf("live ctx: err %v", err)
 	}
 }

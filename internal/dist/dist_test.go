@@ -822,3 +822,40 @@ func TestEmptyPlanCompletesImmediately(t *testing.T) {
 		t.Fatalf("late worker got %q, want fin", m.T)
 	}
 }
+
+// TestSpecKey: the cheap content-address identity of a campaign. It
+// must cover every campaign-defining field, exclude the process-local
+// warmstart knob, and stay bit-stable (the serve daemon's result cache
+// and any on-disk index key off these strings).
+func TestSpecKey(t *testing.T) {
+	base := dist.Spec{Design: "v2", AddrWidth: 8, Words: 8,
+		Transient: 1, Permanent: 1, Wide: 16, Seed: 1}
+	if got, want := base.Key(), "v2/a8/w8/t1/p1/g16/s1"; got != want {
+		t.Fatalf("Key() = %q, want %q (the rendering is a persistence contract)", got, want)
+	}
+	warm := base
+	warm.Warmstart = 512
+	if warm.Key() != base.Key() {
+		t.Fatal("warmstart must not alter the campaign key")
+	}
+	if warm.TraceID() != base.TraceID() {
+		t.Fatal("warmstart must not alter the campaign trace id")
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, mutate := range []func(*dist.Spec){
+		func(s *dist.Spec) { s.Design = "v1" },
+		func(s *dist.Spec) { s.AddrWidth = 6 },
+		func(s *dist.Spec) { s.Words = 4 },
+		func(s *dist.Spec) { s.Transient = 2 },
+		func(s *dist.Spec) { s.Permanent = 2 },
+		func(s *dist.Spec) { s.Wide = 4 },
+		func(s *dist.Spec) { s.Seed = 2 },
+	} {
+		sp := base
+		mutate(&sp)
+		if seen[sp.Key()] {
+			t.Fatalf("key %q collides with another campaign", sp.Key())
+		}
+		seen[sp.Key()] = true
+	}
+}

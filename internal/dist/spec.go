@@ -53,6 +53,19 @@ func (sp Spec) TraceID() uint64 {
 		strconv.Itoa(sp.Wide), strconv.FormatUint(sp.Seed, 10))
 }
 
+// Key renders the campaign-defining spec fields as one canonical
+// string — the cheap pre-build identity of a campaign. The plan
+// fingerprint validated at hello is derived from the *built* plan and
+// costs a golden run; Key costs a Sprintf, which is what a
+// content-addressed result cache (internal/serve) wants to consult
+// before deciding whether to build anything at all. Warmstart is
+// excluded for the same reason it is excluded from TraceID: it is a
+// process-local throughput knob that never alters a result byte.
+func (sp Spec) Key() string {
+	return fmt.Sprintf("%s/a%d/w%d/t%d/p%d/g%d/s%d",
+		sp.Design, sp.AddrWidth, sp.Words, sp.Transient, sp.Permanent, sp.Wide, sp.Seed)
+}
+
 // Campaign is a fully built campaign: everything a coordinator needs
 // to merge and render, and everything a worker needs to run leases.
 type Campaign struct {

@@ -142,7 +142,15 @@ func (t *Target) RunGolden(tr *workload.Trace) (*Golden, error) {
 	for zi := range a.Zones {
 		g.zoneVals[zi] = make([]uint64, tr.Cycles())
 	}
+	// The golden run is one long serial simulation — often the largest
+	// indivisible chunk of a campaign — so it polls the cancellation
+	// channel at the same 256-cycle cadence as the wall watchdog.
+	interrupted := t.Supervision.interrupted()
 	for c := 0; c < tr.Cycles(); c++ {
+		if c&0xff == 0 && interrupted() {
+			gsp.EndOutcome("interrupted")
+			return nil, ErrCampaignInterrupted
+		}
 		tr.ApplyTo(s, c)
 		s.Eval()
 		s.Step()

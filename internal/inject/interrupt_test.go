@@ -1,0 +1,49 @@
+package inject_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/inject"
+	"repro/internal/memsys"
+)
+
+// TestCampaignInterrupt: a closed Supervision.Interrupt channel stops
+// both the golden run and the campaign with ErrCampaignInterrupted —
+// the cooperative-cancellation contract the serve daemon's job
+// cancellation rides on. The engine either returns a complete report or
+// this sentinel, never a partial report.
+func TestCampaignInterrupt(t *testing.T) {
+	target, g, plan := reducedCampaign(t, true)
+	closed := make(chan struct{})
+	close(closed)
+	target.Supervision.Interrupt = closed
+
+	if _, err := target.Run(g, plan); !errors.Is(err, inject.ErrCampaignInterrupted) {
+		t.Fatalf("campaign with closed interrupt: err = %v, want ErrCampaignInterrupted", err)
+	}
+
+	// Same for the golden run (a fresh target: the one above has state).
+	cfg := memsys.V2Config()
+	cfg.AddrWidth = 6
+	d, err := memsys.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := d.InjectionTargetSeeded(a, d.SeedFaults())
+	t2.Supervision.Interrupt = closed
+	if _, err := t2.RunGolden(d.ValidationWorkload(2, 1)); !errors.Is(err, inject.ErrCampaignInterrupted) {
+		t.Fatalf("golden run with closed interrupt: err = %v, want ErrCampaignInterrupted", err)
+	}
+
+	// A nil interrupt channel is the common path and must stay inert.
+	target2, g2, plan2 := reducedCampaign(t, true)
+	rep, err := target2.Run(g2, plan2)
+	if err != nil || len(rep.Results) != len(plan2) {
+		t.Fatalf("nil interrupt: err %v, %d results", err, len(rep.Results))
+	}
+}

@@ -290,10 +290,11 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 	}
 
 	var (
-		cursor  atomic.Int64
-		stopped atomic.Bool
-		errs    = make([]error, len(plan))
-		ckptErr error
+		cursor      atomic.Int64
+		stopped     atomic.Bool
+		errs        = make([]error, len(plan))
+		ckptErr     error
+		interrupted = sup.interrupted()
 	)
 	// finish is called with st.mu held after every completion; it
 	// writes the periodic checkpoint and fires the StopAfter hook.
@@ -349,7 +350,7 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 	work := func() {
 		for {
 			i := int(cursor.Add(1)) - 1
-			if i >= hi || stopped.Load() {
+			if i >= hi || stopped.Load() || interrupted() {
 				return
 			}
 			if st.slots[i].done { // preloaded or statically classified
@@ -369,7 +370,7 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 	workUnits := func() {
 		for {
 			u := int(cursor.Add(1)) - 1
-			if u >= len(units) || stopped.Load() {
+			if u >= len(units) || stopped.Load() || interrupted() {
 				return
 			}
 			idxs := units[u]
@@ -442,7 +443,7 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 	// the uncollapsed campaign would have done.
 	if pc != nil {
 		for i := lo; i < hi; i++ {
-			if stopped.Load() {
+			if stopped.Load() || interrupted() {
 				break
 			}
 			r := pc.dep[i]
@@ -472,6 +473,16 @@ func (t *Target) runSpan(g *Golden, plan []Injection, workers, lo, hi int) (*cam
 		}
 		if sup.StopAfter > 0 && st.completed >= sup.StopAfter {
 			return nil, ErrCampaignStopped
+		}
+	}
+	// An interrupt only matters if it left work undone — when it lands
+	// after the last verdict the completed campaign is returned as
+	// usual, so a cancel racing the natural finish stays benign.
+	if interrupted() {
+		for i := lo; i < hi; i++ {
+			if !st.slots[i].done {
+				return nil, ErrCampaignInterrupted
+			}
 		}
 	}
 	if sup.Checkpoint != "" && st.sinceCkpt > 0 {

@@ -54,6 +54,33 @@ type Supervision struct {
 	// after a checkpoint write — a deterministic crash hook used by the
 	// resume tests and the CI kill/resume smoke job.
 	StopAfter int
+	// Interrupt, when non-nil, cancels the campaign cooperatively: once
+	// the channel is closed, workers finish the experiment in hand, stop
+	// claiming new plan rows, and Run/RunParallel/RunRange return
+	// ErrCampaignInterrupted (core.Run wires a context's Done channel
+	// here). Cancellation is control-plane only — a campaign either
+	// completes with its usual byte-identical report or returns the
+	// error; it never yields a partial report. Periodic checkpoints
+	// written before the interrupt remain valid for resume.
+	Interrupt <-chan struct{}
+}
+
+// interrupted returns a cheap poll of the Interrupt channel — always
+// false when cancellation is not wired, so the hot loops pay one nil
+// check.
+func (sv *Supervision) interrupted() func() bool {
+	ch := sv.Interrupt
+	if ch == nil {
+		return func() bool { return false }
+	}
+	return func() bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
 }
 
 // defaultCheckpointEvery is the checkpoint cadence when unset.
@@ -79,6 +106,12 @@ func (sv *Supervision) wallChecker() func(cycle int) bool {
 // crash hook fires. The campaign state up to the stop is on disk in
 // the checkpoint file; resuming completes the run.
 var ErrCampaignStopped = errors.New("inject: campaign stopped by supervision hook (state checkpointed)")
+
+// ErrCampaignInterrupted is returned by Run/RunParallel/RunRange when
+// Supervision.Interrupt fires before every plan row in the span has a
+// verdict. An interrupt that lands after the last row completes is
+// ignored: the finished report is returned as usual.
+var ErrCampaignInterrupted = errors.New("inject: campaign interrupted")
 
 // ExperimentError is the typed per-experiment failure returned by
 // Run/RunParallel when quarantine is off. It supports errors.As and

@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fastSub is a submission small enough for a unit test: the analytical
+// half of the flow only (no injection campaign), on the reduced memory.
+func fastSub() Submission {
+	return Submission{Design: "v2", AddrWidth: 6, Words: 4}
+}
+
+// directReport runs the submission straight through core.Run the way a
+// worker would — the byte-identity oracle for served reports.
+func directReport(t *testing.T, sub Submission) string {
+	t.Helper()
+	sub.normalize()
+	dut, err := sub.dut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := core.Run(dut, sub.options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as.Report()
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("submit response not a Status: %v\n%s", err, raw)
+		}
+	}
+	return resp, st
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// waitDone polls the job status until it reaches a terminal state.
+func waitDone(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		code, body := get(t, ts, "/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: status %d", id, code)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("status not JSON: %v\n%s", err, body)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Status{}
+}
+
+// TestServedReportByteIdentical is the acceptance core: a served report
+// must be byte-identical to the same submission run directly through
+// core.Run (which is exactly what cmd/certify prints), and a second
+// identical submission must be answered from the cache without a second
+// engine run.
+func TestServedReportByteIdentical(t *testing.T) {
+	want := directReport(t, fastSub())
+
+	srv := New(Config{Workers: 1, Clock: time.Now})
+	defer srv.Drain(0) //nolint:errcheck — test teardown
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, `{"design":"v2","addr_width":6,"words":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", resp.StatusCode)
+	}
+	if st.CacheHit {
+		t.Fatal("first submission claims a cache hit")
+	}
+	fin := waitDone(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s (%s)", fin.State, fin.Error)
+	}
+
+	code, report := get(t, ts, "/jobs/"+st.ID+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report: status %d", code)
+	}
+	if string(report) != want {
+		t.Fatalf("served report differs from direct core.Run report:\nserved %d bytes, direct %d bytes", len(report), len(want))
+	}
+
+	// Identical resubmission (explicit defaults spelled out — the
+	// normalization must fold them onto the same content key).
+	resp2, st2 := postJob(t, ts, `{"design":"v2","addr_width":6,"words":4,"transient":1,"permanent":1,"seed":1}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200 (cache hit born done)", resp2.StatusCode)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Fatalf("resubmit status = %+v, want done cache hit", st2)
+	}
+	if st2.Key != st.Key {
+		t.Fatalf("normalized keys differ: %s vs %s", st2.Key, st.Key)
+	}
+	_, report2 := get(t, ts, "/jobs/"+st2.ID+"/report")
+	if !bytes.Equal(report2, report) {
+		t.Fatal("cached report differs from the original bytes")
+	}
+	snap := srv.Registry().Snapshot()
+	if snap.Counters["served_cache_hits"] != 1 {
+		t.Fatalf("served_cache_hits = %d, want 1", snap.Counters["served_cache_hits"])
+	}
+	if snap.Counters["served_cache_misses"] != 1 {
+		t.Fatalf("served_cache_misses = %d, want 1", snap.Counters["served_cache_misses"])
+	}
+
+	// Per-job telemetry endpoints: progress snapshot is JSON, journal is
+	// non-empty JSONL with the job root span.
+	code, prog := get(t, ts, "/jobs/"+st.ID+"/progress")
+	if code != http.StatusOK || !json.Valid(prog) {
+		t.Fatalf("progress: status %d, valid JSON %v", code, json.Valid(prog))
+	}
+	code, jr := get(t, ts, "/jobs/"+st.ID+"/journal")
+	if code != http.StatusOK || len(jr) == 0 {
+		t.Fatalf("journal: status %d, %d bytes", code, len(jr))
+	}
+	if !bytes.Contains(jr, []byte(`"span"`)) || !bytes.Contains(jr, []byte(`"job"`)) {
+		t.Fatalf("journal missing the job span:\n%s", jr)
+	}
+
+	// Daemon metrics render under the campaign_ Prometheus prefix.
+	code, prom := get(t, ts, "/metrics")
+	if code != http.StatusOK || !bytes.Contains(prom, []byte("campaign_served_cache_hits 1")) {
+		t.Fatalf("daemon /metrics missing cache-hit counter (status %d):\n%s", code, prom)
+	}
+}
+
+// TestServedValidationByteIdentical runs the full fault-injection flow
+// through the daemon and diffs against the direct engine run — the
+// slow, campaign-bearing version of the byte-identity contract.
+func TestServedValidationByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation flow is slow")
+	}
+	sub := Submission{Design: "v2", AddrWidth: 6, Words: 4, Transient: 1, Permanent: 1, Wide: 4, Validate: true}
+	want := directReport(t, sub)
+
+	srv := New(Config{Workers: 1, EngineWorkers: 4, Clock: time.Now})
+	defer srv.Drain(0) //nolint:errcheck — test teardown
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, `{"design":"v2","addr_width":6,"words":4,"transient":1,"permanent":1,"wide":4,"validate":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	fin := waitDone(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s (%s)", fin.State, fin.Error)
+	}
+	_, report := get(t, ts, "/jobs/"+st.ID+"/report")
+	if string(report) != want {
+		t.Fatal("served validation report differs from direct core.Run report")
+	}
+	if !strings.Contains(string(report), "Validation") {
+		t.Fatal("validation section missing from served report")
+	}
+}
+
+// TestSubmissionValidation rejects malformed payloads with 400 before
+// anything reaches the queue.
+func TestSubmissionValidation(t *testing.T) {
+	srv := newServer(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		``,                               // empty
+		`{`,                              // truncated JSON
+		`{"design":"v9"}`,                // unknown design
+		`{}`,                             // missing design
+		`{"design":"v2","addr_width":1}`, // out of range
+		`{"design":"v2","hft":7}`,        // out of range
+		`{"design":"v2","tolerance":2}`,  // out of range
+		`{"design":"v2","bogus":1}`,      // unknown field
+	} {
+		resp, _ := postJob(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if n := srv.Registry().Snapshot().Counters["served_jobs_submitted"]; n != 0 {
+		t.Fatalf("invalid submissions were accepted: submitted = %d", n)
+	}
+}
+
+// TestQueueOverflow: with no worker draining the queue, submissions past
+// QueueDepth are rejected with ErrQueueFull (the HTTP 429 path).
+func TestQueueOverflow(t *testing.T) {
+	srv := newServer(Config{QueueDepth: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, err := srv.Submit(Submission{Design: "v2", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Submit(Submission{Design: "v2", Seed: 2})
+	if err != ErrQueueFull {
+		t.Fatalf("second submit: err = %v, want ErrQueueFull", err)
+	}
+	resp, _ := postJob(t, ts, `{"design":"v2","seed":3}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if n := srv.Registry().Snapshot().Counters["served_jobs_rejected"]; n != 2 {
+		t.Fatalf("served_jobs_rejected = %d, want 2", n)
+	}
+}
+
+// TestCancelWhileQueued: DELETE on a queued job cancels it before it
+// ever touches the engine.
+func TestCancelWhileQueued(t *testing.T) {
+	srv := newServer(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	job, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+
+	// Drive the worker loop by hand: the canceled job must terminate
+	// without an engine run.
+	srv.run(<-srv.queue)
+	st := job.Status(time.Time{})
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	code, _ := get(t, ts, "/jobs/"+job.ID+"/report")
+	if code != http.StatusGone {
+		t.Fatalf("report of canceled job: status %d, want 410", code)
+	}
+	if n := srv.Registry().Snapshot().Counters["served_jobs_canceled"]; n != 1 {
+		t.Fatalf("served_jobs_canceled = %d, want 1", n)
+	}
+}
+
+// TestDuplicateQueuedBehindTwin: two identical submissions accepted
+// before either runs — the second is served from the cache its twin
+// filled, never a second engine run.
+func TestDuplicateQueuedBehindTwin(t *testing.T) {
+	srv := newServer(Config{QueueDepth: 2})
+	a, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.run(<-srv.queue) // a: real engine run, fills the cache
+	srv.run(<-srv.queue) // b: must come back as a cache hit
+
+	sa, sb := a.Status(time.Time{}), b.Status(time.Time{})
+	if sa.State != StateDone || sa.CacheHit {
+		t.Fatalf("twin a = %+v, want done miss", sa)
+	}
+	if sb.State != StateDone || !sb.CacheHit {
+		t.Fatalf("twin b = %+v, want done cache hit", sb)
+	}
+	a.mu.Lock()
+	ra := a.report
+	a.mu.Unlock()
+	b.mu.Lock()
+	rb := b.report
+	b.mu.Unlock()
+	if ra == "" || ra != rb {
+		t.Fatal("twin reports differ")
+	}
+	if n := srv.Registry().Snapshot().Counters["served_cache_hits"]; n != 1 {
+		t.Fatalf("served_cache_hits = %d, want 1", n)
+	}
+}
+
+// TestCacheDisabledAndEviction covers the CacheCap knobs.
+func TestCacheDisabledAndEviction(t *testing.T) {
+	off := newServer(Config{CacheCap: -1})
+	j, err := off.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.run(<-off.queue)
+	if j.Status(time.Time{}).State != StateDone {
+		t.Fatal("run failed")
+	}
+	if len(off.cache) != 0 {
+		t.Fatal("CacheCap<0 must disable caching")
+	}
+
+	small := newServer(Config{CacheCap: 1, QueueDepth: 4})
+	for seed := uint64(1); seed <= 2; seed++ {
+		sub := fastSub()
+		sub.Seed = seed
+		if _, err := small.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+		small.run(<-small.queue)
+	}
+	if len(small.cache) != 1 || len(small.cacheFIFO) != 1 {
+		t.Fatalf("cache size = %d fifo = %d, want 1 (FIFO eviction)", len(small.cache), len(small.cacheFIFO))
+	}
+}
+
+// TestDrain: draining rejects new submissions with 503 and Drain waits
+// for the pool to go idle; a second Drain is a no-op.
+func TestDrain(t *testing.T) {
+	srv := New(Config{Workers: 1, Clock: time.Now})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	job, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(time.Minute); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := job.Status(time.Time{}); st.State != StateDone {
+		t.Fatalf("queued job after drain = %s, want done (graceful drain finishes work)", st.State)
+	}
+	if _, err := srv.Submit(fastSub()); err != ErrDraining {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+	resp, _ := postJob(t, ts, `{"design":"v2"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte("draining")) {
+		t.Fatalf("healthz during drain (status %d): %s", code, body)
+	}
+	if err := srv.Drain(time.Minute); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestHTTPSurface covers the remaining endpoint contracts: unknown job
+// 404, report-before-done 409 with Retry-After, job list.
+func TestHTTPSurface(t *testing.T) {
+	srv := newServer(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, _ := get(t, ts, "/jobs/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", code)
+	}
+	job, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + job.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck — drain only
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("report of queued job: status %d Retry-After %q, want 409 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	code, body := get(t, ts, "/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	var list []Status
+	if err := json.Unmarshal(body, &list); err != nil || len(list) != 1 || list[0].ID != job.ID {
+		t.Fatalf("list = %s (err %v)", body, err)
+	}
+}
+
+// TestSubmissionKeyNormalization: omitted fields and their explicit
+// defaults are the same content address; any knob change is a new one.
+func TestSubmissionKeyNormalization(t *testing.T) {
+	base := Submission{Design: "v2"}
+	base.normalize()
+	explicit := Submission{Design: "v2", AddrWidth: 8, Words: 8, Transient: 1,
+		Permanent: 1, Wide: base.Wide, Seed: 1, TargetSIL: base.TargetSIL,
+		Tolerance: base.Tolerance}
+	explicit.normalize()
+	if base.Key() != explicit.Key() {
+		t.Fatalf("explicit defaults re-keyed: %s vs %s", explicit.Key(), base.Key())
+	}
+	seen := map[string]string{base.Key(): "base"}
+	for name, mutate := range map[string]func(*Submission){
+		"design":    func(s *Submission) { s.Design = "v1" },
+		"addr":      func(s *Submission) { s.AddrWidth = 6 },
+		"words":     func(s *Submission) { s.Words = 4 },
+		"transient": func(s *Submission) { s.Transient = 2 },
+		"permanent": func(s *Submission) { s.Permanent = 2 },
+		"wide":      func(s *Submission) { s.Wide = 4 },
+		"seed":      func(s *Submission) { s.Seed = 2 },
+		"sil":       func(s *Submission) { s.TargetSIL = 2 },
+		"hft":       func(s *Submission) { s.HFT = 1 },
+		"tolerance": func(s *Submission) { s.Tolerance = 0.5 },
+		"validate":  func(s *Submission) { s.Validate = true },
+	} {
+		sub := base
+		mutate(&sub)
+		k := sub.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("knob %s collides with %s on key %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+// TestEngineKnobsByteNeutral: the daemon's engine throughput knobs
+// (workers, lanes, collapse) must never change report bytes.
+func TestEngineKnobsByteNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three validation campaigns")
+	}
+	sub := Submission{Design: "v2", AddrWidth: 6, Words: 4, Transient: 1, Permanent: 1, Wide: 4, Validate: true}
+	var reports []string
+	for _, cfg := range []Config{
+		{EngineWorkers: 1},
+		{EngineWorkers: 4, EngineLanes: 4},
+		{EngineWorkers: 2, EngineCollapse: true},
+	} {
+		srv := newServer(cfg)
+		job, err := srv.Submit(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.run(<-srv.queue)
+		st := job.Status(time.Time{})
+		if st.State != StateDone {
+			t.Fatalf("cfg %+v: state %s (%s)", cfg, st.State, st.Error)
+		}
+		job.mu.Lock()
+		reports = append(reports, job.report)
+		job.mu.Unlock()
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("engine knob set %d changed report bytes", i)
+		}
+	}
+}
+
+// TestStatusTiming exercises the Status latency fields with an
+// injected deterministic clock.
+func TestStatusTiming(t *testing.T) {
+	now := time.Unix(1000, 0)
+	srv := newServer(Config{Clock: func() time.Time { return now }})
+	job, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(3 * time.Second)
+	if st := job.Status(now); st.QueueSec != 3 {
+		t.Fatalf("queued QueueSec = %v, want 3", st.QueueSec)
+	}
+	srv.run(<-srv.queue)
+	st := job.Status(now.Add(time.Hour)) // terminal: pinned, not live
+	if st.QueueSec != 3 || st.RunSec != 0 {
+		t.Fatalf("terminal status = %+v, want pinned queue 3s run 0s", st)
+	}
+	if srv.queueMsH.Count() != 1 {
+		t.Fatal("queue-wait histogram not observed")
+	}
+	if fmt.Sprintf("%s", st.State) != StateDone {
+		t.Fatalf("state = %s", st.State)
+	}
+}

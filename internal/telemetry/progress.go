@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 )
@@ -92,7 +93,29 @@ func (c *Campaign) Snapshot() Snapshot {
 			}
 		}
 	}
+	s.sanitize()
 	return s
+}
+
+// sanitize clamps every derived float to a finite value. The guards in
+// Snapshot already avoid dividing by zero, but this is a product
+// endpoint contract, not an implementation accident: encoding/json
+// refuses +Inf/NaN outright, and a snapshot that cannot marshal turns
+// the /progress poll of an empty or just-started campaign into a
+// truncated body. Rates clamp to 0 (nothing measured), ETA to -1
+// (unknown).
+func (s *Snapshot) sanitize() {
+	finite := func(v *float64, fallback float64) {
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			*v = fallback
+		}
+	}
+	finite(&s.ElapsedSec, 0)
+	finite(&s.ExpPerSec, 0)
+	finite(&s.FaultPerSec, 0)
+	finite(&s.CyclePerSec, 0)
+	finite(&s.Utilization, 0)
+	finite(&s.ETASec, -1)
 }
 
 // Line renders the snapshot as the single-line progress format.

@@ -10,16 +10,44 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // current is the campaign the process-wide expvar publication reads
-// from; ServeStatus installs its campaign here. expvar.Publish is
-// once-per-name for the process lifetime, so the variable indirects
-// through this pointer instead of capturing one campaign.
+// from; ServeStatus installs its campaign here and Close releases it
+// again. expvar.Publish is once-per-name for the process lifetime, so
+// the variable indirects through this pointer instead of capturing one
+// campaign — and a long-running process that cycles many campaigns
+// through ServeStatus retains none of them once their server is closed.
 var (
 	current    atomic.Pointer[Campaign]
 	publishVar sync.Once
 )
+
+// DefaultLoopback rewrites a listen address so that an empty address
+// or one with a wildcard host ("", ":8080", "0.0.0.0:8080", "[::]:8080")
+// binds 127.0.0.1 instead of every interface. Addresses naming a
+// concrete host pass through unchanged, as do strings net.SplitHostPort
+// cannot parse (net.Listen reports those). Exported so daemons
+// embedding their own HTTP listener (cmd/served) share the same
+// default-closed posture.
+func DefaultLoopback(addr string) string {
+	if addr == "" {
+		return "127.0.0.1:0"
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "127.0.0.1" + addr
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	switch host {
+	case "", "0.0.0.0", "::", "*":
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return addr
+}
 
 // StatusServer is the live-campaign HTTP endpoint: /progress (campaign
 // snapshot JSON), /metrics (Prometheus text format 0.0.4),
@@ -28,21 +56,33 @@ var (
 //
 // Security note: the campaign endpoint is unauthenticated and pprof
 // exposes process internals, so ServeStatus binds loopback unless the
-// operator explicitly names an interface — an addr of the form ":8080"
-// becomes "127.0.0.1:8080".
+// operator explicitly names a concrete interface — "", ":8080",
+// "0.0.0.0:8080" and "[::]:8080" all become loopback (see
+// DefaultLoopback). ServeStatusExposed is the explicit opt-out.
 type StatusServer struct {
 	// Addr is the bound address (useful with a ":0" listener).
 	Addr string
 	srv  *http.Server
 	ln   net.Listener
+	c    *Campaign
 }
 
 // ServeStatus starts the status server for the campaign and returns
 // once the listener is bound (the HTTP loop runs in a goroutine).
+// Empty and wildcard-host addresses bind loopback.
 func ServeStatus(addr string, c *Campaign) (*StatusServer, error) {
-	if strings.HasPrefix(addr, ":") {
-		addr = "127.0.0.1" + addr
-	}
+	return serveStatus(DefaultLoopback(addr), c)
+}
+
+// ServeStatusExposed binds exactly the address given — wildcard hosts
+// included. This is the operator's explicit opt-in to exposing the
+// unauthenticated campaign endpoints and pprof beyond loopback; put a
+// fronting proxy or network policy in between on shared hosts.
+func ServeStatusExposed(addr string, c *Campaign) (*StatusServer, error) {
+	return serveStatus(addr, c)
+}
+
+func serveStatus(addr string, c *Campaign) (*StatusServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: status server: %w", err)
@@ -58,6 +98,43 @@ func ServeStatus(addr string, c *Campaign) (*StatusServer, error) {
 		}))
 	})
 
+	mux := http.NewServeMux()
+	ch := CampaignHandler(c)
+	mux.Handle("/progress", ch)
+	mux.Handle("/metrics", ch)
+	mux.Handle("/metrics.json", ch)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &StatusServer{Addr: ln.Addr().String(), srv: newHTTPServer(mux), ln: ln, c: c}
+	go s.srv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// newHTTPServer wraps a handler with the slow-client limits every
+// server in this package binds: a slow-loris peer that trickles header
+// bytes or parks idle keep-alive connections must not pin a daemon's
+// connections forever.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// CampaignHandler serves one campaign's observer endpoints — /progress
+// (snapshot JSON), /metrics (Prometheus text, or the JSON registry
+// snapshot under an explicit Accept: application/json) and
+// /metrics.json — relative to its own mux root. It is the per-campaign
+// building block: ServeStatus mounts one for the process campaign, and
+// a multi-campaign daemon (internal/serve) mounts one per job under
+// /jobs/{id}/.
+func CampaignHandler(c *Campaign) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, c.Snapshot())
@@ -84,31 +161,33 @@ func ServeStatus(addr string, c *Campaign) (*StatusServer, error) {
 		}
 		writeJSON(w, c.Registry.Snapshot())
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &StatusServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
-	go s.srv.Serve(ln) //nolint:errcheck — Serve returns ErrServerClosed on Close
-	return s, nil
+	return mux
 }
 
-// Close shuts the listener down. In-flight requests get a short grace
-// period; the campaign itself is unaffected.
+// Close shuts the listener down and releases the campaign installed in
+// the process-wide expvar pointer, so /debug/vars renders null instead
+// of the dead campaign's registry and the campaign itself becomes
+// collectable. The release is a compare-and-swap: when a newer server
+// has already installed its own campaign, that one is left alone.
 func (s *StatusServer) Close() error {
 	if s == nil {
 		return nil
 	}
+	current.CompareAndSwap(s.c, nil)
 	s.srv.SetKeepAlivesEnabled(false)
 	return s.srv.Close()
 }
 
+// writeJSON marshals fully before touching the ResponseWriter: an
+// encoding failure (e.g. a NaN that slipped into a float field) must
+// surface as a 500, not as a silently truncated 200 body handed to a
+// polling client.
 func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, fmt.Sprintf("telemetry: encode: %v", err), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck — best-effort status output
+	w.Write(append(b, '\n')) //nolint:errcheck — best-effort status output
 }
