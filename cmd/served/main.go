@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	lanes := fs.Int("lanes", 1, "word-parallel kernel lanes per job, 1..64 (byte-neutral)")
 	collapse := fs.Bool("collapse", false, "static fault-analysis pre-pass per job (byte-neutral)")
 	cacheCap := fs.Int("cache", 256, "content-addressed result cache entries (negative disables)")
+	jobsCap := fs.Int("jobs-cap", 1024, "job table retention: oldest finished jobs evicted past this many (negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 0, "max wait for running jobs on SIGTERM (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -109,6 +111,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		EngineLanes:    *lanes,
 		EngineCollapse: *collapse,
 		CacheCap:       *cacheCap,
+		JobsCap:        *jobsCap,
 		Clock:          telemetry.SystemClock,
 	})
 	hs := &http.Server{
@@ -132,9 +135,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	select {
 	case sg := <-sig:
 		lg.Printf("signal %v: draining (no new submissions; queued and running jobs finish)", sg)
-		hs.Close() //nolint:errcheck — listener down is the point
-		if err := srv.Drain(*drainTimeout); err != nil {
-			lg.Printf("drain: %v", err)
+		// Drain with the listener still up: new submissions get 503
+		// (ErrDraining) but clients keep polling and can fetch reports
+		// for jobs that finish during the drain. Only then stop the
+		// HTTP server — gracefully, so a client mid-poll during a
+		// routine deploy gets a complete response, not a connection
+		// reset; Close only fires if stragglers outlive the deadline.
+		drainErr := srv.Drain(*drainTimeout)
+		sdCtx, sdCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := hs.Shutdown(sdCtx); err != nil {
+			hs.Close() //nolint:errcheck — deadline passed; sever stragglers
+		}
+		sdCancel()
+		if drainErr != nil {
+			lg.Printf("drain: %v", drainErr)
 			return 1
 		}
 		lg.Printf("drained cleanly")

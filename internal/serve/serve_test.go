@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -353,6 +354,117 @@ func TestCacheDisabledAndEviction(t *testing.T) {
 	}
 	if len(small.cache) != 1 || len(small.cacheFIFO) != 1 {
 		t.Fatalf("cache size = %d fifo = %d, want 1 (FIFO eviction)", len(small.cache), len(small.cacheFIFO))
+	}
+}
+
+// TestCacheHitBookkeeping: both cache-hit paths — born done at Submit
+// and the dequeue-time twin — settle the same terminal bookkeeping as
+// an engine-run finish (completion counter, queue-wait observation,
+// closed journal) and stay race-free against a concurrent status
+// poller (the dequeue-time hit mutates a job that has been visible
+// since Submit).
+func TestCacheHitBookkeeping(t *testing.T) {
+	now := time.Unix(2000, 0)
+	srv := newServer(Config{QueueDepth: 2, Clock: func() time.Time { return now }})
+	if _, err := srv.Submit(fastSub()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.Submit(fastSub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // hammer the visible twin while the worker finishes it
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Status(time.Time{})
+			}
+		}
+	}()
+	srv.run(<-srv.queue) // a: engine run, fills the cache
+	srv.run(<-srv.queue) // b: dequeue-time cache hit
+	close(stop)
+	wg.Wait()
+
+	c, err := srv.Submit(fastSub()) // born done at Submit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(time.Time{}); st.State != StateDone || !st.CacheHit {
+		t.Fatalf("submit-time hit = %+v, want done cache hit", st)
+	}
+	snap := srv.Registry().Snapshot()
+	if n := snap.Counters["served_jobs_completed"]; n != 3 {
+		t.Fatalf("served_jobs_completed = %d, want 3 (cache hits settle completion)", n)
+	}
+	if n := srv.queueMsH.Count(); n != 3 {
+		t.Fatalf("queue-wait observations = %d, want 3 (cache hits observe queue wait)", n)
+	}
+}
+
+// TestJobTableEviction: past JobsCap the oldest terminal jobs are
+// evicted from the table, queued jobs are never evicted, and a
+// negative cap disables eviction.
+func TestJobTableEviction(t *testing.T) {
+	srv := newServer(Config{JobsCap: 2, QueueDepth: 8})
+	var ids []string
+	for seed := uint64(1); seed <= 3; seed++ {
+		sub := fastSub()
+		sub.Seed = seed
+		j, err := srv.Submit(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+		srv.run(<-srv.queue)
+	}
+	if _, ok := srv.Job(ids[0]); ok {
+		t.Fatalf("job %s still tracked past JobsCap", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, ok := srv.Job(id); !ok {
+			t.Fatalf("job %s evicted, want retained", id)
+		}
+	}
+	if got := len(srv.Jobs()); got != 2 {
+		t.Fatalf("tracked jobs = %d, want JobsCap = 2", got)
+	}
+	if n := srv.jobsLive.Load(); n != 2 {
+		t.Fatalf("served_jobs_tracked = %d, want 2 after eviction", n)
+	}
+
+	// Queued jobs are never evicted: with no worker draining the queue
+	// the table exceeds the cap by the in-flight count.
+	pinned := newServer(Config{JobsCap: 1, QueueDepth: 8})
+	for seed := uint64(1); seed <= 3; seed++ {
+		sub := fastSub()
+		sub.Seed = seed
+		if _, err := pinned.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(pinned.Jobs()); got != 3 {
+		t.Fatalf("queued jobs evicted: %d tracked, want 3", got)
+	}
+
+	// Negative cap disables eviction entirely.
+	keep := newServer(Config{JobsCap: -1, QueueDepth: 8})
+	for seed := uint64(1); seed <= 3; seed++ {
+		sub := fastSub()
+		sub.Seed = seed
+		if _, err := keep.Submit(sub); err != nil {
+			t.Fatal(err)
+		}
+		keep.run(<-keep.queue)
+	}
+	if got := len(keep.Jobs()); got != 3 {
+		t.Fatalf("JobsCap<0 evicted: %d tracked, want 3", got)
 	}
 }
 

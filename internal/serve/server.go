@@ -52,6 +52,16 @@ type Config struct {
 	// insertion: the cache is an idempotency layer, not an LRU tuned
 	// for hit rate.
 	CacheCap int
+	// JobsCap bounds the in-memory job table (0 selects 1024, negative
+	// disables eviction). Past the cap the oldest terminal jobs
+	// (done/failed/canceled) are evicted FIFO — their status, report,
+	// progress snapshot and journal become 404s, so clients must fetch
+	// results within the retention window. Without a bound a
+	// long-running daemon retains every submission's campaign hub and
+	// journal forever: an eventual OOM even under benign load. Queued
+	// and running jobs are never evicted, so the table may transiently
+	// exceed the cap by the in-flight count (≤ QueueDepth + Workers).
+	JobsCap int
 	// Clock drives job timestamps, per-job rate/ETA telemetry and the
 	// journal. nil disables wall-clock telemetry (deterministic tests).
 	Clock func() time.Time
@@ -121,6 +131,9 @@ func newServer(cfg Config) *Server {
 	}
 	if cfg.CacheCap == 0 {
 		cfg.CacheCap = 256
+	}
+	if cfg.JobsCap == 0 {
+		cfg.JobsCap = 1024
 	}
 	r := telemetry.NewRegistry()
 	s := &Server{
@@ -210,10 +223,15 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 		return job, nil
 	}
 	// Reserve the queue slot while still holding the table lock so the
-	// accounting (tracked job ↔ queued job) can't diverge.
+	// accounting (tracked job ↔ queued job) can't diverge. The depth
+	// gauge is bumped before the send: a worker's dequeue-side Add(-1)
+	// can only run after the send lands, so the published depth never
+	// transiently goes negative.
+	s.queueLen.Add(1)
 	select {
 	case s.queue <- job:
 	default:
+		s.queueLen.Add(-1)
 		s.mu.Unlock()
 		s.rejected.Inc()
 		return nil, ErrQueueFull
@@ -222,21 +240,52 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 	s.mu.Unlock()
 	s.submitted.Inc()
 	s.cacheMiss.Inc()
-	s.queueLen.Add(1)
 	return job, nil
 }
 
-// track records the job in the table (caller holds s.mu).
+// track records the job in the table and evicts past JobsCap (caller
+// holds s.mu). Eviction happens here because the table only grows on
+// track: a job finishing later never pushes it over the cap.
 func (s *Server) track(job *Job) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.evictJobs()
 	s.jobsLive.Set(int64(len(s.jobs)))
 }
 
-// finishFromCache marks a job done with a cached result (caller holds
-// s.mu for the cache read; job is not yet visible to anyone else).
+// evictJobs drops the oldest terminal jobs while the table exceeds
+// JobsCap (caller holds s.mu). Queued and running jobs are skipped —
+// evicting them would orphan a queue entry or a live engine run — so
+// under a burst of in-flight work the table may briefly exceed the cap
+// by at most QueueDepth + Workers.
+func (s *Server) evictJobs() {
+	if s.cfg.JobsCap <= 0 {
+		return
+	}
+	for i := 0; len(s.jobs) > s.cfg.JobsCap && i < len(s.order); {
+		j := s.jobs[s.order[i]]
+		j.mu.Lock()
+		terminal := j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+		j.mu.Unlock()
+		if !terminal {
+			i++
+			continue
+		}
+		delete(s.jobs, j.ID)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+// finishFromCache marks a job done with a cached result and settles the
+// same terminal bookkeeping as an engine-run finish: journal closed (so
+// /jobs/{id}/journal serves the flushed JSONL), queue-wait observed and
+// the completion counter bumped. Caller holds s.mu for the cache read;
+// job.mu is still required because on the dequeue-time hit path the job
+// has been visible to pollers since Submit, so a concurrent
+// Job.Status/handleReport may be reading these fields.
 func (s *Server) finishFromCache(job *Job, ce cacheEntry) {
 	now := s.now()
+	job.mu.Lock()
 	job.state = StateDone
 	job.cacheHit = true
 	job.report = ce.report
@@ -244,6 +293,15 @@ func (s *Server) finishFromCache(job *Job, ce cacheEntry) {
 	job.conditional = ce.conditional
 	job.started = now
 	job.finished = now
+	sub := job.submitted
+	job.mu.Unlock()
+	if job.tel != nil {
+		job.tel.Journal.Close() //nolint:errcheck — in-memory sink cannot fail
+	}
+	if !now.IsZero() {
+		s.queueMsH.Observe(now.Sub(sub).Milliseconds())
+	}
+	s.completed.Inc()
 }
 
 // Job looks a job up by id.
@@ -296,7 +354,6 @@ func (s *Server) run(job *Job) {
 		s.finishFromCache(job, ce)
 		s.mu.Unlock()
 		s.cacheHits.Inc()
-		s.completed.Inc()
 		return
 	}
 	s.mu.Unlock()
